@@ -1,0 +1,38 @@
+"""Ablation benchmark: the K of the K-conflict constraint.
+
+The paper evaluates K = 2 only.  K trades admission concurrency (higher
+K admits more conflicting transactions) against per-request estimation
+cost (|C(q)| <= K estimator calls per decision) and contention.  This
+sweep shows why K = 2 is a sweet spot on the hot-set workload.
+"""
+
+import pytest
+
+from conftest import print_series, run_point
+from repro.workloads import pattern2, pattern2_catalog
+
+KS = (0, 1, 2, 4, 8)
+RATE = 0.9
+NUM_HOTS = 8
+
+_results = {}
+
+
+@pytest.mark.parametrize("k", KS)
+def test_k_conflict_sensitivity(benchmark, k):
+    def one():
+        return run_point("KWTPG", RATE, pattern2(num_hots=NUM_HOTS),
+                         pattern2_catalog(num_hots=NUM_HOTS),
+                         num_partitions=8 + NUM_HOTS, k_conflicts=k)
+
+    result = benchmark.pedantic(one, rounds=1, iterations=1)
+    _results[k] = result.metrics
+    assert result.metrics.commits > 0
+    if len(_results) == len(KS):
+        print_series(
+            f"K-conflict ablation (Pattern2, NumHots={NUM_HOTS}, "
+            f"lambda={RATE})", "K", list(KS),
+            {"TPS": [_results[k].throughput_tps for k in KS],
+             "mean RT (s)": [_results[k].mean_response_time / 1000
+                             for k in KS],
+             "CN util": [_results[k].cn_utilization for k in KS]})

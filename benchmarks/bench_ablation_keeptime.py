@@ -1,0 +1,47 @@
+"""Ablation benchmark: the control-saving period (DESIGN.md decision 2).
+
+Section 3.4 reuses W / E(q) for up to ``keeptime`` (5000 ms) instead of
+recomputing on every request.  keeptime = 0 recomputes always (maximum
+control CPU, freshest decisions); large keeptime risks stale decisions.
+This sweep measures the trade on both WTPG schedulers.
+"""
+
+import pytest
+
+from conftest import print_series, run_point
+from repro.workloads import pattern1, pattern1_catalog
+
+KEEPTIMES = (0.0, 5000.0, 60_000.0)
+RATE = 0.6
+
+_results = {}
+
+
+@pytest.mark.parametrize("scheduler", ("CHAIN", "K2"))
+def test_keeptime_sensitivity(benchmark, scheduler):
+    def sweep():
+        out = []
+        for keeptime in KEEPTIMES:
+            result = run_point(scheduler, RATE, pattern1(16),
+                               pattern1_catalog(), num_partitions=16,
+                               keep_time=keeptime)
+            out.append(result.metrics)
+        return out
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _results[scheduler] = points
+    assert all(p.commits > 0 for p in points)
+    if len(_results) == 2:
+        print_series(
+            f"Keeptime ablation (lambda={RATE}): TPS", "keeptime_ms",
+            list(KEEPTIMES),
+            {name: [p.throughput_tps for p in pts]
+             for name, pts in _results.items()})
+        print_series(
+            "Keeptime ablation: control computations "
+            "(W optimisations / E calls)", "keeptime_ms",
+            list(KEEPTIMES),
+            {name: [p.scheduler_stats.get("optimizations", 0)
+                    + p.scheduler_stats.get("estimator_calls", 0)
+                    for p in pts]
+             for name, pts in _results.items()})

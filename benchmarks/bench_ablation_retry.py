@@ -1,0 +1,44 @@
+"""Ablation benchmark: the re-submission delay (DESIGN.md decision 1).
+
+The paper resubmits delayed/aborted requests "after a fixed delay"
+without stating the value; our default is 500 ms.  This sweep shows the
+sensitivity: shorter delays react faster but burn control-node CPU on
+retries, longer delays waste lock-free time.
+"""
+
+import pytest
+
+from conftest import print_series, run_point
+from repro.workloads import pattern1, pattern1_catalog
+
+DELAYS = (100.0, 500.0, 2000.0)
+RATE = 0.6
+
+_results = {}
+
+
+@pytest.mark.parametrize("scheduler", ("C2PL", "K2"))
+def test_retry_delay_sensitivity(benchmark, scheduler):
+    def sweep():
+        out = []
+        for delay in DELAYS:
+            result = run_point(scheduler, RATE, pattern1(16),
+                               pattern1_catalog(), num_partitions=16,
+                               retry_delay=delay)
+            out.append(result.metrics)
+        return out
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _results[scheduler] = points
+    assert all(p.commits > 0 for p in points)
+    if len(_results) == 2:
+        print_series(
+            f"Retry-delay ablation (lambda={RATE}): TPS", "delay_ms",
+            list(DELAYS),
+            {name: [p.throughput_tps for p in pts]
+             for name, pts in _results.items()})
+        print_series(
+            "Retry-delay ablation: CN utilization", "delay_ms",
+            list(DELAYS),
+            {name: [p.cn_utilization for p in pts]
+             for name, pts in _results.items()})

@@ -1,0 +1,40 @@
+"""Extension benchmark: the cost of aborting BATs (2PL vs the paper).
+
+The paper's premise: "a bulk-operation is too expensive to abort", so
+its schedulers only delay.  Classic blocking 2PL restarts deadlock
+victims instead — this benchmark measures how much bulk work those
+restarts throw away on Pattern1 (whose read-then-upgrade shape is
+deadlock bait) and what it does to throughput.
+"""
+
+import pytest
+
+from conftest import print_series, run_point
+from repro.workloads import pattern1, pattern1_catalog
+
+RATE = 0.6
+SCHEDULERS = ("2PL", "WAIT-DIE", "C2PL", "K2")
+
+_results = {}
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_abort_cost(benchmark, scheduler):
+    def one():
+        return run_point(scheduler, RATE, pattern1(16), pattern1_catalog(),
+                         num_partitions=16)
+
+    result = benchmark.pedantic(one, rounds=1, iterations=1)
+    _results[scheduler] = result.metrics
+    assert result.metrics.commits > 0
+    if len(_results) == len(SCHEDULERS):
+        metrics = _results
+        print_series(
+            f"Abort-cost comparison (Pattern1, lambda={RATE})", "metric",
+            ["TPS", "mean RT (s)", "aborts", "wasted objects"],
+            {name: [m.throughput_tps, m.mean_response_time / 1000,
+                    float(m.aborts), m.wasted_objects]
+             for name, m in metrics.items()})
+        # The paper's no-abort schedulers waste nothing.
+        assert metrics["C2PL"].wasted_objects == 0
+        assert metrics["K2"].wasted_objects == 0

@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 8 (Experiment 2, scaled).
+
+Pattern2 with hot sets of 4 and 16 partitions at a heavy arrival rate.
+Expected shape: K2 best (especially at NumHots=4), ASL worst, CHAIN
+recovering as the hot set grows.
+"""
+
+import pytest
+
+from conftest import print_series, run_point
+from repro.workloads import pattern2, pattern2_catalog
+
+NUM_HOTS = (4, 16)
+RATE = 0.9
+SCHEDULERS = ("ASL", "C2PL", "CHAIN", "K2")
+
+_results = {}
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_figure8_hot_sets(benchmark, scheduler):
+    def sweep():
+        out = []
+        for num_hots in NUM_HOTS:
+            result = run_point(scheduler, RATE, pattern2(num_hots=num_hots),
+                               pattern2_catalog(num_hots=num_hots),
+                               num_partitions=8 + num_hots)
+            out.append(result.metrics.throughput_tps)
+        return out
+
+    tps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _results[scheduler] = tps
+    assert all(t > 0 for t in tps)
+    if len(_results) == len(SCHEDULERS):
+        print_series(
+            f"Figure 8 (scaled, lambda={RATE}): NumHots vs throughput (TPS)",
+            "NumHots", list(NUM_HOTS), _results)

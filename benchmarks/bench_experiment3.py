@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Figure 9 (Experiment 3, scaled).
+
+Pattern3 (longer blocking time) at NumHots = 8.  Expected shape: C2PL's
+response time blows up well before the WTPG schedulers'; CHAIN and K2
+stay 1.2-1.8x above ASL and C2PL in throughput.
+"""
+
+import pytest
+
+from conftest import print_series, run_point
+from repro.workloads import pattern3, pattern3_catalog
+
+RATES = (0.4, 0.7, 0.9)
+SCHEDULERS = ("ASL", "C2PL", "CHAIN", "K2")
+
+_results = {}
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_figure9_sweep(benchmark, scheduler):
+    def sweep():
+        points = []
+        for rate in RATES:
+            result = run_point(scheduler, rate, pattern3(num_hots=8),
+                               pattern3_catalog(num_hots=8),
+                               num_partitions=16)
+            points.append(result.metrics)
+        return points
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _results[scheduler] = points
+    assert all(p.commits > 0 for p in points)
+    if len(_results) == len(SCHEDULERS):
+        print_series(
+            "Figure 9 (scaled): arrival rate vs mean RT (s)", "lambda",
+            list(RATES),
+            {name: [p.mean_response_time / 1000 for p in pts]
+             for name, pts in _results.items()})
+        print_series(
+            "Figure 9 companion: arrival rate vs throughput (TPS)", "lambda",
+            list(RATES),
+            {name: [p.throughput_tps for p in pts]
+             for name, pts in _results.items()})

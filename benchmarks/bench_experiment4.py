@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Figure 10 (Experiment 4, scaled).
+
+Pattern1 with erroneous declared costs (sigma = 0 and 1) for the WTPG
+schedulers and their weight-free lower bounds.  Expected shape: CHAIN
+nearly flat, K2 degrading more, both above plain C2PL; CHAIN-C2PL well
+above K2-C2PL.
+"""
+
+import pytest
+
+from conftest import print_series, run_point
+from repro.workloads import pattern1, pattern1_catalog
+
+SIGMAS = (0.0, 1.0)
+RATE = 0.6
+SCHEDULERS = ("CHAIN", "K2", "CHAIN-C2PL", "K2-C2PL", "C2PL")
+WEIGHT_FREE = {"CHAIN-C2PL", "K2-C2PL", "C2PL"}
+
+_results = {}
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_figure10_error_sweep(benchmark, scheduler):
+    def sweep():
+        out = []
+        for sigma in SIGMAS:
+            if sigma != 0.0 and scheduler in WEIGHT_FREE:
+                out.append(out[0])  # weight-free: sigma-invariant
+                continue
+            result = run_point(scheduler, RATE,
+                               pattern1(16, error_sigma=sigma),
+                               pattern1_catalog(), num_partitions=16)
+            out.append(result.metrics.throughput_tps)
+        return out
+
+    tps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _results[scheduler] = tps
+    assert all(t > 0 for t in tps)
+    if len(_results) == len(SCHEDULERS):
+        print_series(
+            f"Figure 10 (scaled, lambda={RATE}): sigma vs throughput (TPS)",
+            "sigma", list(SIGMAS), _results)

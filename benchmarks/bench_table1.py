@@ -1,0 +1,77 @@
+"""Benchmark: Table 1's control operations, microbenchmarked.
+
+The paper priced each concurrency-control operation by instruction count
+on the control node (ddtime, chaintime, kwtpgtime).  These benchmarks
+measure our implementations of the same operations on a realistic
+mid-experiment WTPG, so the Table 1 cost parameters can be sanity-checked
+against real work ratios (chaintime > kwtpgtime > ddtime).
+"""
+
+import pytest
+
+from repro.core import (ChainPair, LockTable, Step, TransactionSpec, WTPG,
+                        estimate_contention, optimise_chain)
+from repro.core.builder import add_transaction, implied_resolutions
+from repro.core.transaction import LockMode
+
+
+def build_contended_state(num_txns=12, num_partitions=8):
+    """A mid-experiment lock table + WTPG with real conflicts."""
+    table, wtpg = LockTable(), WTPG()
+    for tid in range(1, num_txns + 1):
+        p1 = tid % num_partitions
+        p2 = (tid * 3 + 1) % num_partitions
+        spec = TransactionSpec(tid, [Step.read(p1, 2), Step.write(p2, 1),
+                                     Step.write(p1, 1)])
+        table.register(spec)
+        add_transaction(wtpg, table, spec)
+    return table, wtpg
+
+
+def test_ddtime_deadlock_probe(benchmark):
+    """C2PL's per-request test: implied resolutions + cycle probe."""
+    table, wtpg = build_contended_state()
+
+    def probe():
+        implied = implied_resolutions(table, wtpg, 1, 1, LockMode.EXCLUSIVE)
+        return wtpg.creates_cycle_from(1, [succ for _, succ in implied])
+
+    benchmark(probe)
+
+
+def test_kwtpgtime_estimator(benchmark):
+    """K-WTPG's E(q): graph copy + closure + critical path."""
+    table, wtpg = build_contended_state()
+    implied = implied_resolutions(table, wtpg, 1, 1, LockMode.EXCLUSIVE)
+    result = benchmark(lambda: estimate_contention(wtpg, 1, implied))
+    assert result >= 0
+
+
+def test_chaintime_optimiser(benchmark):
+    """CHAIN's W: the O(N^2) chain optimisation on a 12-node chain."""
+    sources = [float(3 + (i % 5)) for i in range(12)]
+    pairs = [ChainPair(down=float(1 + i % 3), up=float(2 - i % 2))
+             for i in range(11)]
+    length, orientations = benchmark(lambda: optimise_chain(sources, pairs))
+    assert length >= max(sources)
+
+
+def test_wtpg_critical_path(benchmark):
+    """The longest-path pass shared by both WTPG schedulers."""
+    _, wtpg = build_contended_state()
+    for edge in list(wtpg.unresolved_pairs()):
+        wtpg.resolve(edge.a, edge.b)
+    if wtpg.has_precedence_cycle():
+        pytest.skip("random state produced a cycle")
+    benchmark(wtpg.critical_path_length)
+
+
+def test_admission_wiring(benchmark):
+    """Admission cost: register + conflict discovery + WTPG insertion."""
+    def admit_one():
+        table, wtpg = build_contended_state(num_txns=10)
+        spec = TransactionSpec(99, [Step.write(0, 2), Step.read(3, 1)])
+        table.register(spec)
+        add_transaction(wtpg, table, spec)
+
+    benchmark(admit_one)

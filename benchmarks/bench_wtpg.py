@@ -1,0 +1,73 @@
+"""Microbenchmarks of the WTPG data structure itself.
+
+These bound the control-node costs from below: every scheduler decision
+is some composition of these operations.  Sizes bracket what the
+simulations actually see (tens of active transactions; C2PL overload
+reaches a few hundred).
+"""
+
+import pytest
+
+from repro.core import WTPG
+from repro.core.estimator import estimate_contention
+
+
+def build_graph(n, conflict_stride=3, resolve_every=2):
+    """n transactions; pair (i, i+stride) conflicts; some resolved."""
+    g = WTPG()
+    for tid in range(1, n + 1):
+        g.add_transaction(tid, float(tid % 7) + 1)
+    for tid in range(1, n + 1):
+        other = tid + conflict_stride
+        if other <= n:
+            edge = g.ensure_pair(tid, other)
+            edge.raise_weight_to(other, float(tid % 5))
+            edge.raise_weight_to(tid, float(other % 5))
+            if tid % resolve_every == 0:
+                g.resolve(tid, other)
+    return g
+
+
+@pytest.mark.parametrize("n", [16, 64, 256])
+def test_bench_critical_path(benchmark, n):
+    g = build_graph(n)
+    result = benchmark(g.critical_path_length)
+    assert result >= 0
+
+
+@pytest.mark.parametrize("n", [16, 64, 256])
+def test_bench_copy(benchmark, n):
+    g = build_graph(n)
+    clone = benchmark(g.copy)
+    assert len(clone) == n
+
+
+@pytest.mark.parametrize("n", [16, 64, 256])
+def test_bench_cycle_probe(benchmark, n):
+    g = build_graph(n)
+    edge = g.unresolved_pairs()[0]
+    result = benchmark(lambda: g.creates_cycle_from(edge.a, [edge.b]))
+    assert result in (True, False)
+
+
+@pytest.mark.parametrize("n", [16, 64])
+def test_bench_estimator(benchmark, n):
+    g = build_graph(n)
+    edge = g.unresolved_pairs()[0]
+    value = benchmark(
+        lambda: estimate_contention(g, edge.a, [(edge.a, edge.b)]))
+    assert value >= 0
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_bench_add_remove_transaction(benchmark, n):
+    def churn():
+        g = build_graph(n)
+        g.add_transaction(n + 1, 3.0)
+        edge = g.ensure_pair(n + 1, 1)
+        edge.raise_weight_to(1, 2.0)
+        g.remove_transaction(n + 1)
+        return g
+
+    g = benchmark(churn)
+    assert len(g) == n

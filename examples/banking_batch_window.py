@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Banking batch window: master-file updates against a shrinking hot set.
+
+The paper's motivating scenario (Section 1): an off-line banking service
+must push many BATs — "read history files for statistic analysis, then
+update master files according to this analysis" — through a short batch
+window.  The master files are a *hot set*: every BAT ends by updating two
+of them.
+
+This example models a night window on the 8-node machine and asks: as the
+bank consolidates master files (NumHots shrinking 16 -> 4), which
+scheduler keeps the window short?  It reproduces Experiment 2's insight —
+ASL's preclaiming collapses first, CHAIN's chain-form admissions choke on
+small hot sets, K-WTPG degrades most gracefully.
+
+Run:  python examples/banking_batch_window.py
+"""
+
+from repro import SimulationParameters, run_simulation
+from repro.analysis import ascii_chart, format_series_table
+from repro.workloads import pattern2, pattern2_catalog
+
+WINDOW_CLOCKS = 400_000          # a ~7-minute slice of the batch window
+ARRIVAL_RATE = 0.8               # batch jobs queued aggressively
+SCHEDULERS = ("ASL", "C2PL", "CHAIN", "K2")
+MASTER_FILE_COUNTS = (4, 8, 16)
+
+
+def throughput(scheduler: str, num_hots: int) -> float:
+    params = SimulationParameters(
+        scheduler=scheduler, arrival_rate_tps=ARRIVAL_RATE,
+        sim_clocks=WINDOW_CLOCKS, seed=7,
+        num_partitions=8 + num_hots)
+    result = run_simulation(params, pattern2(num_hots=num_hots),
+                            catalog=pattern2_catalog(num_hots=num_hots))
+    return result.metrics.throughput_tps
+
+
+def main() -> None:
+    print(__doc__)
+    series = {name: [] for name in SCHEDULERS}
+    for num_hots in MASTER_FILE_COUNTS:
+        print(f"simulating hot set of {num_hots} master files ...")
+        for name in SCHEDULERS:
+            series[name].append(throughput(name, num_hots))
+
+    print()
+    print("Batch throughput (TPS) by number of master files:")
+    print(format_series_table("masters", list(MASTER_FILE_COUNTS), series))
+    print()
+    print(ascii_chart(
+        {name: list(zip(MASTER_FILE_COUNTS, values))
+         for name, values in series.items()},
+        x_label="hot master files", y_label="TPS"))
+    print()
+    best_small = max(SCHEDULERS, key=lambda n: series[n][0])
+    print(f"With only {MASTER_FILE_COUNTS[0]} master files, "
+          f"{best_small} clears the most jobs "
+          f"({series[best_small][0]:.2f} TPS) — the paper's Experiment 2 "
+          "conclusion: local WTPG optimisation wins on hot sets.")
+
+
+if __name__ == "__main__":
+    main()

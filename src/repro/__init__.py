@@ -1,0 +1,61 @@
+"""repro — WTPG concurrency control for Bulk Access Transactions.
+
+A faithful, self-contained reproduction of:
+
+    Ohmori, Kitsuregawa, Tanaka.  "Concurrency Control of Bulk Access
+    Transactions on Shared Nothing Parallel Database Machines."
+    ICDE 1990.
+
+The package provides:
+
+* the Weighted Transaction Precedence Graph and both WTPG schedulers
+  (CHAIN and K-WTPG) plus all baselines (:mod:`repro.core`);
+* a discrete-event simulator of the paper's shared-nothing machine
+  (:mod:`repro.engine`, :mod:`repro.machine`);
+* the paper's workloads, metrics and all four experiments
+  (:mod:`repro.workloads`, :mod:`repro.metrics`, :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import SimulationParameters, run_simulation
+    from repro.workloads import pattern1, pattern1_catalog
+
+    params = SimulationParameters(scheduler="K2", arrival_rate_tps=0.5,
+                                  sim_clocks=200_000)
+    result = run_simulation(params, pattern1(), catalog=pattern1_catalog())
+    print(result.metrics.throughput_tps, result.metrics.mean_response_time)
+"""
+
+from repro.config import SimulationParameters
+from repro.core import (LockMode, LockTable, Step, TransactionRuntime,
+                        TransactionSpec, WTPG)
+from repro.core.schedulers import (AtomicStaticLock, CautiousTwoPhaseLock,
+                                   ChainC2PL, ChainScheduler,
+                                   KConflictC2PL, KWTPGScheduler,
+                                   NoDataContention, make_scheduler)
+from repro.machine import Catalog, Cluster, Partition, run_simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtomicStaticLock",
+    "Catalog",
+    "CautiousTwoPhaseLock",
+    "ChainC2PL",
+    "ChainScheduler",
+    "Cluster",
+    "KConflictC2PL",
+    "KWTPGScheduler",
+    "LockMode",
+    "LockTable",
+    "NoDataContention",
+    "Partition",
+    "SimulationParameters",
+    "Step",
+    "TransactionRuntime",
+    "TransactionSpec",
+    "WTPG",
+    "make_scheduler",
+    "run_simulation",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Graphviz DOT export of a WTPG.
+
+``wtpg_to_dot`` renders the paper's figures from live scheduler state:
+solid arrows for precedence-edges, dashed double arrows for unresolved
+conflicting-edges, node labels carrying ``w(T0 -> Ti)``.  Paste the
+output into any DOT renderer.
+"""
+
+from __future__ import annotations
+
+from repro.core.wtpg import WTPG
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def wtpg_to_dot(wtpg: WTPG, title: str = "WTPG",
+                include_t0: bool = True) -> str:
+    """The WTPG as a Graphviz digraph string."""
+    lines = [f"digraph {_quote(title)} {{",
+             "  rankdir=LR;",
+             '  node [shape=circle, fontsize=11];']
+    if include_t0 and len(wtpg):
+        lines.append('  T0 [shape=doublecircle, label="T0"];')
+    for tid in sorted(wtpg.transactions):
+        weight = wtpg.source_weight(tid)
+        lines.append(
+            f'  T{tid} [label="T{tid}\\nw={weight:g}"];')
+        if include_t0:
+            lines.append(f'  T0 -> T{tid} [label="{weight:g}", '
+                         'color=gray, fontcolor=gray];')
+    for edge in wtpg.pairs():
+        a, b = edge.a, edge.b
+        if edge.resolved:
+            pred = edge.predecessor()
+            succ = edge.resolved_to
+            lines.append(
+                f'  T{pred} -> T{succ} '
+                f'[label="{edge.weight_to(succ):g}", penwidth=1.5];')
+        else:
+            lines.append(
+                f'  T{a} -> T{b} [label="{edge.weight_to(b):g}", '
+                'style=dashed, dir=both, constraint=false];')
+    lines.append("}")
+    return "\n".join(lines)

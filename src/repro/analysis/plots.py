@@ -1,0 +1,66 @@
+"""Coarse ASCII line charts for terminal output."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+
+def ascii_chart(series: Dict[str, Sequence[Tuple[float, float]]],
+                width: int = 60, height: int = 16,
+                x_label: str = "", y_label: str = "",
+                y_max: Optional[float] = None) -> str:
+    """Plot named (x, y) series on a character grid.
+
+    Each series is drawn with its own marker (first letter of its name,
+    falling back through digits on collision).  Infinite/NaN points are
+    skipped.  The result is a multi-line string.
+    """
+    points = {
+        name: [(x, y) for x, y in values
+               if not (math.isinf(y) or math.isnan(y))]
+        for name, values in series.items()}
+    all_points = [p for values in points.values() for p in values]
+    if not all_points:
+        return "(no finite data)"
+
+    x_lo = min(p[0] for p in all_points)
+    x_hi = max(p[0] for p in all_points)
+    y_lo = 0.0
+    y_hi = y_max if y_max is not None else max(p[1] for p in all_points)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    used_markers = set()
+    legend = []
+    for name, values in points.items():
+        marker = next((ch for ch in name.upper() + "0123456789*"
+                       if ch not in used_markers and not ch.isspace()), "*")
+        used_markers.add(marker)
+        legend.append(f"{marker}={name}")
+        for x, y in values:
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            y_clamped = min(y, y_hi)
+            row = round((y_clamped - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    top = f"{y_hi:.3g}"
+    bottom = f"{y_lo:.3g}"
+    margin = max(len(top), len(bottom))
+    for index, row in enumerate(grid):
+        prefix = top if index == 0 else (
+            bottom if index == height - 1 else "")
+        lines.append(f"{prefix.rjust(margin)} |{''.join(row)}")
+    lines.append(f"{' ' * margin} +{'-' * width}")
+    axis = f"{x_lo:.3g}".ljust(width - 8) + f"{x_hi:.3g}".rjust(8)
+    lines.append(f"{' ' * margin}  {axis}")
+    if x_label:
+        lines.append(f"{' ' * margin}  {x_label.center(width)}")
+    lines.append("  ".join(legend))
+    return "\n".join(lines)

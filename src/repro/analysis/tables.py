@@ -1,0 +1,44 @@
+"""Aligned text tables for experiment output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 ) -> str:
+    """A simple aligned table with a header rule."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append(["" if value is None else
+                      (f"{value:.3f}" if isinstance(value, float) else
+                       str(value))
+                      for value in row])
+    widths = [max(len(row[col]) for row in cells)
+              for col in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(width)
+                               for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_series_table(x_label: str, xs: Sequence[object],
+                        series: Dict[str, Sequence[Optional[float]]],
+                        ) -> str:
+    """One column of x values, one column per named series.
+
+    This is the text rendering of a paper figure: x on rows, schedulers
+    on columns.
+    """
+    headers = [x_label] + list(series)
+    rows: List[List[object]] = []
+    for index, x in enumerate(xs):
+        row: List[object] = [x]
+        for name in series:
+            values = series[name]
+            row.append(values[index] if index < len(values) else None)
+        rows.append(row)
+    return format_table(headers, rows)

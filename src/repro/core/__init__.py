@@ -1,0 +1,32 @@
+"""The paper's primary contribution: WTPG-based concurrency control.
+
+This package is independent of the simulator: it contains the transaction
+model (Section 2.2), the partition lock table, the Weighted Transaction
+Precedence Graph (Section 3.1), the chain-form machinery and optimiser used
+by the CHAIN scheduler (Section 3.2 + appendix), the local contention
+estimator ``E(q)`` used by the K-WTPG scheduler (Section 3.3), and the seven
+schedulers evaluated in Section 4.
+"""
+
+from repro.core.transaction import LockMode, Step, TransactionSpec, TransactionRuntime
+from repro.core.locks import Declaration, LockTable
+from repro.core.wtpg import WTPG
+from repro.core.chain import chain_components, is_chain_form
+from repro.core.chain_opt import ChainPair, optimise_chain, chain_critical_path
+from repro.core.estimator import estimate_contention
+
+__all__ = [
+    "ChainPair",
+    "Declaration",
+    "LockMode",
+    "LockTable",
+    "Step",
+    "TransactionRuntime",
+    "TransactionSpec",
+    "WTPG",
+    "chain_components",
+    "chain_critical_path",
+    "estimate_contention",
+    "is_chain_form",
+    "optimise_chain",
+]

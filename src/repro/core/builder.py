@@ -1,0 +1,105 @@
+"""Wiring between the lock table and the WTPG.
+
+When a transaction starts it declares its steps; this module derives the
+WTPG node and pair edges that Section 3.1 prescribes:
+
+* the node gets source weight ``w(T0 -> Ti) = due(s_0)`` (its declared
+  total);
+* for every conflicting pair of declarations between the newcomer ``Ti``
+  and an active ``Tj``, the pair edge's directed weights are raised to the
+  ``due`` values of the conflicting steps (max over all conflicting step
+  pairs);
+* if ``Tj`` already *holds* a lock conflicting with one of ``Ti``'s
+  declarations, the serialization order is already forced (the holder
+  keeps the lock until commit, so it must precede the newcomer): the pair
+  is created pre-resolved ``Tj -> Ti``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.core.locks import LockTable
+from repro.core.transaction import TransactionSpec
+from repro.core.wtpg import WTPG
+from repro.errors import WTPGError
+
+
+def conflict_partners(table: LockTable, spec: TransactionSpec) -> Set[int]:
+    """Active transactions with at least one declaration conflicting with spec.
+
+    Must be called *after* ``table.register(spec)`` — it inspects the
+    registered declarations of ``spec.tid``.
+    """
+    partners: Set[int] = set()
+    own = table.declarations_of(spec.tid)
+    for other_tid in table.active_transactions:
+        if other_tid == spec.tid:
+            continue
+        if table.conflicting_transactions(own, other_tid):
+            partners.add(other_tid)
+    return partners
+
+
+def add_transaction(wtpg: WTPG, table: LockTable,
+                    spec: TransactionSpec) -> Set[int]:
+    """Insert ``spec`` into the WTPG with all pair edges and weights.
+
+    The transaction must already be registered in ``table``.  Returns the
+    set of conflict partners (useful for chain-form / K-conflict admission
+    tests).  Pairs against holders of conflicting locks are pre-resolved
+    ``holder -> newcomer``.
+    """
+    tid = spec.tid
+    if not table.is_registered(tid):
+        raise WTPGError(f"T{tid} must be registered in the lock table first")
+    wtpg.add_transaction(tid, spec.declared_total)
+
+    own = table.declarations_of(tid)
+    partners: Set[int] = set()
+    for other_tid in sorted(table.active_transactions):
+        if other_tid == tid or other_tid not in wtpg:
+            continue
+        conflicts = table.conflicting_transactions(own, other_tid)
+        if not conflicts:
+            continue
+        partners.add(other_tid)
+        edge = wtpg.ensure_pair(tid, other_tid)
+        forced = False
+        for mine, theirs in conflicts:
+            # w(other -> me) = due of my conflicting step, and vice versa.
+            edge.raise_weight_to(tid, mine.due)
+            edge.raise_weight_to(other_tid, theirs.due)
+            if table.is_granted(theirs):
+                forced = True
+        if forced:
+            # The holder commits before the newcomer can take the lock.
+            wtpg.resolve(other_tid, tid)
+    return partners
+
+
+def remove_transaction(wtpg: WTPG, table: LockTable, tid: int) -> None:
+    """Drop ``tid`` from both structures (commit or admission abort)."""
+    wtpg.remove_transaction(tid)
+    table.unregister(tid)
+
+
+def implied_resolutions(table: LockTable, wtpg: WTPG, tid: int,
+                        partition: int, mode) -> List[Tuple[int, int]]:
+    """Resolutions forced by granting ``tid`` a lock on ``partition``.
+
+    Every other active transaction with a pending conflicting declaration
+    on the partition must now follow ``tid`` (it can only take that lock
+    after ``tid`` commits).  Returned as ``(tid, other)`` pairs; pairs
+    already resolved the same way are included (resolving is idempotent),
+    pairs resolved the *other* way are included too — callers treat those
+    as predicted deadlocks.
+    """
+    seen: Set[int] = set()
+    out: List[Tuple[int, int]] = []
+    for decl in table.pending_conflicts(tid, partition, mode):
+        if decl.tid in seen or decl.tid not in wtpg:
+            continue
+        seen.add(decl.tid)
+        out.append((tid, decl.tid))
+    return sorted(out, key=lambda pair: pair[1])

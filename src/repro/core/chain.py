@@ -1,0 +1,119 @@
+"""Chain-form WTPGs (Definition 2, Section 3.2).
+
+A WTPG is *chain-form* when its transactions can be labelled ``1..N`` such
+that each node conflicts only with its label neighbours.  Equivalently: the
+undirected *conflict graph* (one vertex per transaction, one edge per pair
+edge — resolved or not) is a disjoint union of simple paths.  Components
+can then be concatenated in any order to produce the labelling, and the
+critical-path optimisation decomposes per component (the overall critical
+path is the max over components, so minimising each minimises the whole).
+
+The CHAIN scheduler (CC1) aborts any arriving transaction that would break
+this property; the test here is the linear-time degree/acyclicity check the
+paper implements with a depth-first traverse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.core.wtpg import WTPG
+from repro.errors import NotChainFormError
+
+
+def conflict_adjacency(wtpg: WTPG) -> Dict[int, Set[int]]:
+    """Undirected conflict adjacency of a WTPG (pair edges, any state)."""
+    return {tid: wtpg.conflict_neighbors(tid) for tid in wtpg.transactions}
+
+
+def chain_components(wtpg: WTPG) -> List[List[int]]:
+    """Decompose a chain-form WTPG into ordered path components.
+
+    Each component is returned as the node sequence along its path,
+    starting from the endpoint with the smallest tid (singletons are
+    one-element lists).  Raises :class:`NotChainFormError` if any node has
+    conflict degree > 2 or the conflict graph contains a cycle.
+    """
+    adjacency = conflict_adjacency(wtpg)
+    for tid, nbrs in adjacency.items():
+        if len(nbrs) > 2:
+            raise NotChainFormError(
+                f"T{tid} conflicts with {len(nbrs)} transactions; "
+                "chain-form allows at most 2")
+
+    components: List[List[int]] = []
+    visited: Set[int] = set()
+
+    # Walk each path from its endpoints (degree <= 1) first.
+    endpoints = sorted(t for t, nbrs in adjacency.items() if len(nbrs) <= 1)
+    for start in endpoints:
+        if start in visited:
+            continue
+        component = [start]
+        visited.add(start)
+        previous, current = None, start
+        while True:
+            next_nodes = [n for n in adjacency[current] if n != previous]
+            if not next_nodes:
+                break
+            if len(next_nodes) > 1:  # defensive; degree check above covers it
+                raise NotChainFormError(f"T{current} branches inside a chain")
+            previous, current = current, next_nodes[0]
+            if current in visited:
+                raise NotChainFormError("conflict graph contains a cycle")
+            component.append(current)
+            visited.add(current)
+        components.append(component)
+
+    # Any node still unvisited lies on a cycle (every tree path was walked).
+    leftovers = set(adjacency) - visited
+    if leftovers:
+        raise NotChainFormError(
+            f"conflict graph contains a cycle through {sorted(leftovers)}")
+    return components
+
+
+def is_chain_form(wtpg: WTPG) -> bool:
+    """True when the WTPG satisfies Definition 2."""
+    try:
+        chain_components(wtpg)
+    except NotChainFormError:
+        return False
+    return True
+
+
+def would_remain_chain_form(wtpg: WTPG, new_tid: int,
+                            new_neighbors: Iterable[int]) -> bool:
+    """Chain-form test for admitting ``new_tid`` conflicting with the given set.
+
+    Pure check — the WTPG is not modified.  ``new_neighbors`` are the
+    existing transactions the newcomer's declarations conflict with.
+    """
+    neighbors = set(new_neighbors)
+    if len(neighbors) > 2:
+        return False
+    adjacency = conflict_adjacency(wtpg)
+    for tid in neighbors:
+        if len(adjacency.get(tid, ())) >= 2:
+            return False  # the neighbour would reach conflict degree 3
+    if len(neighbors) == 2:
+        # Joining two chain ends must not close a cycle: the two
+        # neighbours must belong to different components.
+        first, second = sorted(neighbors)
+        if _same_component(adjacency, first, second):
+            return False
+    return True
+
+
+def _same_component(adjacency: Dict[int, Set[int]], a: int, b: int) -> bool:
+    seen = {a}
+    stack = [a]
+    while stack:
+        node = stack.pop()
+        if node == b:
+            return True
+        for nxt in adjacency.get(node, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return b in seen

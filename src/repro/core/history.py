@@ -1,0 +1,128 @@
+"""Execution-history recording and conflict-serializability validation.
+
+The simulator records, for every committed transaction, the interval during
+which each partition lock was held (grant time to commit time) and its
+mode.  Because all schedulers except NODC use strict partition-level
+locking, a correct run must satisfy:
+
+1. *Lock exclusion* — no two conflicting holds on the same partition
+   overlap in time.
+2. *Acyclic precedence* — ordering committed transactions by the time
+   order of their conflicting accesses yields an acyclic graph (conflict
+   serializability).
+
+NODC intentionally violates both; the integration tests assert that the
+validator catches it (which also proves the validator has teeth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.core.transaction import LockMode
+from repro.errors import SerializationViolationError
+
+
+@dataclass(frozen=True)
+class HoldRecord:
+    """One partition lock held by one transaction over a time interval."""
+
+    tid: int
+    partition: int
+    mode: LockMode
+    granted_at: float
+    released_at: float
+
+    def overlaps(self, other: "HoldRecord") -> bool:
+        """Open-interval overlap: back-to-back release/grant is legal."""
+        return (self.granted_at < other.released_at
+                and other.granted_at < self.released_at)
+
+
+@dataclass
+class History:
+    """All lock holds of committed transactions in one simulation run."""
+
+    holds: List[HoldRecord] = field(default_factory=list)
+
+    def record(self, tid: int, partition: int, mode: LockMode,
+               granted_at: float, released_at: float) -> None:
+        if released_at < granted_at:
+            raise SerializationViolationError(
+                f"T{tid} released P{partition} before acquiring it")
+        self.holds.append(HoldRecord(tid, partition, mode,
+                                     granted_at, released_at))
+
+    @property
+    def transactions(self) -> Set[int]:
+        return {h.tid for h in self.holds}
+
+    def conflicting_hold_pairs(self) -> List[Tuple[HoldRecord, HoldRecord]]:
+        """Every pair of conflicting holds (same partition, modes clash)."""
+        by_partition: Dict[int, List[HoldRecord]] = {}
+        for hold in self.holds:
+            by_partition.setdefault(hold.partition, []).append(hold)
+        pairs = []
+        for records in by_partition.values():
+            for i, first in enumerate(records):
+                for second in records[i + 1:]:
+                    if (first.tid != second.tid
+                            and first.mode.conflicts_with(second.mode)):
+                        pairs.append((first, second))
+        return pairs
+
+    def check_lock_exclusion(self) -> None:
+        """Raise if two conflicting holds ever overlapped in time."""
+        for first, second in self.conflicting_hold_pairs():
+            if first.overlaps(second):
+                raise SerializationViolationError(
+                    f"conflicting holds overlap on P{first.partition}: "
+                    f"T{first.tid} [{first.granted_at}, {first.released_at}) "
+                    f"vs T{second.tid} [{second.granted_at}, "
+                    f"{second.released_at})")
+
+    def precedence_edges(self) -> Set[Tuple[int, int]]:
+        """Directed conflict-order edges between committed transactions."""
+        edges: Set[Tuple[int, int]] = set()
+        for first, second in self.conflicting_hold_pairs():
+            if first.overlaps(second):
+                raise SerializationViolationError(
+                    f"conflicting holds overlap on P{first.partition}")
+            if first.released_at <= second.granted_at:
+                edges.add((first.tid, second.tid))
+            else:
+                edges.add((second.tid, first.tid))
+        return edges
+
+    def check_serializable(self) -> List[int]:
+        """Verify conflict serializability; returns a serialization order.
+
+        Raises :class:`SerializationViolationError` if the conflict
+        precedence graph has a cycle (or locks overlapped).
+        """
+        edges = self.precedence_edges()
+        nodes = self.transactions
+        successors: Dict[int, Set[int]] = {tid: set() for tid in nodes}
+        indegree: Dict[int, int] = {tid: 0 for tid in nodes}
+        for a, b in edges:
+            if b not in successors[a]:
+                successors[a].add(b)
+                indegree[b] += 1
+
+        import heapq
+        heap = [tid for tid, deg in indegree.items() if deg == 0]
+        heapq.heapify(heap)
+        order: List[int] = []
+        while heap:
+            tid = heapq.heappop(heap)
+            order.append(tid)
+            for succ in successors[tid]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    heapq.heappush(heap, succ)
+        if len(order) != len(nodes):
+            stuck = sorted(set(nodes) - set(order))
+            raise SerializationViolationError(
+                f"conflict precedence cycle among transactions {stuck}")
+        return order

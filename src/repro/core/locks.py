@@ -1,0 +1,232 @@
+"""Partition-granule lock table with pre-declared locks.
+
+The control node keeps one lock table over partition granules (Section 2.2).
+Each active transaction *declares* every lock it will ever need at start
+time; a declaration carries the ``due`` value of its step (Section 3.1), so
+WTPG weights can be computed directly from the table.  When the lock for a
+step is granted, that declaration is consumed (the paper: "a lock-declaration
+is replaced by a lock-request when T requests to hold this lock") and the
+entry becomes a *hold*.  All holds persist until commit (strict locking for
+recovery) and are released together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.transaction import LockMode, TransactionSpec
+from repro.errors import LockTableError
+
+
+@dataclass(frozen=True)
+class Declaration:
+    """One declared (future or granted) lock of one step.
+
+    ``due`` is the declared remaining work from the start of this step to
+    the owning transaction's commit — attached to the lock table entry
+    exactly as Section 3.1 prescribes.
+    """
+
+    tid: int
+    step_index: int
+    partition: int
+    mode: LockMode
+    due: float
+
+
+class LockTable:
+    """All declarations and holds, indexed by partition and transaction."""
+
+    def __init__(self) -> None:
+        # partition -> {(tid, step_index) -> Declaration}; pending only.
+        self._pending: Dict[int, Dict[Tuple[int, int], Declaration]] = {}
+        # partition -> {(tid, step_index) -> Declaration}; granted (holds).
+        self._granted: Dict[int, Dict[Tuple[int, int], Declaration]] = {}
+        # tid -> all its declarations (pending and granted alike).
+        self._by_txn: Dict[int, List[Declaration]] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, spec: TransactionSpec) -> None:
+        """Enter every lock-declaration of ``spec`` into the table."""
+        if spec.tid in self._by_txn:
+            raise LockTableError(f"T{spec.tid} is already registered")
+        decls = []
+        for index, step in enumerate(spec.steps):
+            decl = Declaration(spec.tid, index, step.partition, step.mode,
+                               spec.due(index))
+            decls.append(decl)
+            self._pending.setdefault(step.partition, {})[
+                (spec.tid, index)] = decl
+        self._by_txn[spec.tid] = decls
+
+    def unregister(self, tid: int) -> None:
+        """Remove every entry of ``tid`` (commit or admission abort)."""
+        decls = self._by_txn.pop(tid, None)
+        if decls is None:
+            raise LockTableError(f"T{tid} is not registered")
+        for decl in decls:
+            key = (decl.tid, decl.step_index)
+            self._pending.get(decl.partition, {}).pop(key, None)
+            self._granted.get(decl.partition, {}).pop(key, None)
+
+    def is_registered(self, tid: int) -> bool:
+        return tid in self._by_txn
+
+    @property
+    def active_transactions(self) -> Set[int]:
+        return set(self._by_txn)
+
+    # -- grants ------------------------------------------------------------
+
+    def grant(self, tid: int, step_index: int) -> Declaration:
+        """Convert the pending declaration of a step into a hold."""
+        decl = self._find_declaration(tid, step_index)
+        key = (tid, step_index)
+        pending = self._pending.get(decl.partition, {})
+        if key not in pending:
+            raise LockTableError(
+                f"lock for T{tid} step {step_index} was already granted")
+        del pending[key]
+        self._granted.setdefault(decl.partition, {})[key] = decl
+        return decl
+
+    def _find_declaration(self, tid: int, step_index: int) -> Declaration:
+        for decl in self._by_txn.get(tid, ()):
+            if decl.step_index == step_index:
+                return decl
+        raise LockTableError(f"T{tid} has no declaration for step {step_index}")
+
+    # -- queries -----------------------------------------------------------
+
+    def held_mode(self, tid: int, partition: int) -> Optional[LockMode]:
+        """Strongest mode ``tid`` currently holds on ``partition``."""
+        strongest: Optional[LockMode] = None
+        for (owner, _), decl in self._granted.get(partition, {}).items():
+            if owner != tid:
+                continue
+            if decl.mode is LockMode.EXCLUSIVE:
+                return LockMode.EXCLUSIVE
+            strongest = LockMode.SHARED
+        return strongest
+
+    def holds(self, tid: int, partition: int, mode: LockMode) -> bool:
+        """True if ``tid`` holds ``partition`` in ``mode`` or stronger."""
+        held = self.held_mode(tid, partition)
+        if held is None:
+            return False
+        return held is LockMode.EXCLUSIVE or mode is LockMode.SHARED
+
+    def conflicting_holders(self, tid: int, partition: int,
+                            mode: LockMode) -> Set[int]:
+        """Other transactions holding ``partition`` in a conflicting mode."""
+        out: Set[int] = set()
+        for (owner, _), decl in self._granted.get(partition, {}).items():
+            if owner != tid and decl.mode.conflicts_with(mode):
+                out.add(owner)
+        return out
+
+    def pending_conflicts(self, tid: int, partition: int,
+                          mode: LockMode) -> List[Declaration]:
+        """Other transactions' pending declarations conflicting with a lock.
+
+        This is the paper's ``C(q)`` for a request ``q`` by ``tid`` on
+        ``partition`` in ``mode``.
+        """
+        return [decl for decl in self._pending.get(partition, {}).values()
+                if decl.tid != tid and decl.mode.conflicts_with(mode)]
+
+    def declarations_of(self, tid: int) -> Tuple[Declaration, ...]:
+        """All declarations of ``tid`` (pending and granted)."""
+        return tuple(self._by_txn.get(tid, ()))
+
+    def pending_of(self, tid: int) -> Tuple[Declaration, ...]:
+        """Declarations of ``tid`` whose locks are not yet granted."""
+        return tuple(
+            decl for decl in self._by_txn.get(tid, ())
+            if (tid, decl.step_index) in self._pending.get(decl.partition, {}))
+
+    def granted_of(self, tid: int) -> Tuple[Declaration, ...]:
+        """Declarations of ``tid`` whose locks are currently held."""
+        return tuple(
+            decl for decl in self._by_txn.get(tid, ())
+            if (tid, decl.step_index) in self._granted.get(decl.partition, {}))
+
+    def conflict_count(self, decl: Declaration,
+                       count: str = "declarations") -> int:
+        """Number of conflicts with other pending declarations.
+
+        This is ``|C(q)|`` for the declaration viewed as a future request —
+        the quantity bounded by K in the K-conflict constraint
+        (Section 3.3: "each lock-declaration may conflict with K
+        lock-declarations at most").
+
+        ``count="declarations"`` (the paper's literal wording) counts
+        conflicting declarations individually; ``count="transactions"``
+        counts distinct conflicting transactions — a plausibly intended,
+        looser reading (a read-then-upgrade pattern contributes two
+        conflicting declarations per rival transaction under the literal
+        one).  EXPERIMENTS.md discusses how the choice affects the
+        Experiment 4 hybrid lower bounds.
+        """
+        if count == "declarations":
+            return sum(
+                1 for (owner, _), other
+                in self._pending.get(decl.partition, {}).items()
+                if owner != decl.tid and other.mode.conflicts_with(decl.mode))
+        if count == "transactions":
+            owners: Set[int] = {
+                owner for (owner, _), other
+                in self._pending.get(decl.partition, {}).items()
+                if owner != decl.tid and other.mode.conflicts_with(decl.mode)}
+            return len(owners)
+        raise LockTableError(f"unknown conflict count mode {count!r}")
+
+    def k_conflict_violated(self, k: int,
+                            partitions: Optional[Iterable[int]] = None,
+                            count: str = "declarations") -> bool:
+        """True if any pending declaration conflicts with more than ``k``.
+
+        ``partitions`` restricts the scan (only partitions touched by a
+        newly registered transaction can change counts).
+        """
+        scan = self._pending if partitions is None else {
+            p: self._pending.get(p, {}) for p in partitions}
+        for entries in scan.values():
+            for decl in entries.values():
+                if self.conflict_count(decl, count=count) > k:
+                    return True
+        return False
+
+    def conflicting_transactions(self, spec_a: Iterable[Declaration],
+                                 tid_b: int) -> List[Tuple[Declaration, Declaration]]:
+        """All conflicting declaration pairs between ``spec_a`` and ``tid_b``."""
+        pairs = []
+        decls_b = self._by_txn.get(tid_b, ())
+        by_partition: Dict[int, List[Declaration]] = {}
+        for decl in decls_b:
+            by_partition.setdefault(decl.partition, []).append(decl)
+        for decl_a in spec_a:
+            for decl_b in by_partition.get(decl_a.partition, ()):
+                if decl_a.mode.conflicts_with(decl_b.mode):
+                    pairs.append((decl_a, decl_b))
+        return pairs
+
+    def is_granted(self, decl: Declaration) -> bool:
+        """True if this declaration's lock is currently held."""
+        return ((decl.tid, decl.step_index)
+                in self._granted.get(decl.partition, {}))
+
+    def snapshot(self) -> Dict[int, Dict[str, List[str]]]:
+        """A readable dump of the table, for debugging and logging."""
+        out: Dict[int, Dict[str, List[str]]] = {}
+        partitions = set(self._pending) | set(self._granted)
+        for partition in sorted(partitions):
+            pend = [f"T{d.tid}.{d.step_index}:{d.mode}"
+                    for d in self._pending.get(partition, {}).values()]
+            held = [f"T{d.tid}.{d.step_index}:{d.mode}"
+                    for d in self._granted.get(partition, {}).values()]
+            if pend or held:
+                out[partition] = {"pending": sorted(pend), "granted": sorted(held)}
+        return out

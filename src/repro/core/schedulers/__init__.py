@@ -1,0 +1,72 @@
+"""The seven concurrency-control schedulers evaluated in the paper.
+
+* :class:`ChainScheduler` — CC1, global optimisation over chain-form WTPGs.
+* :class:`KWTPGScheduler` — CC2, local optimisation via ``E(q)`` under the
+  K-conflict constraint (the paper evaluates K = 2).
+* :class:`AtomicStaticLock` — ASL: all-or-nothing preclaiming.
+* :class:`CautiousTwoPhaseLock` — C2PL: incremental locking, requests that
+  would cause a (predicted) deadlock are delayed; never aborts.
+* :class:`NoDataContention` — NODC: grants everything; the pure
+  resource-contention upper bound.
+* :class:`ChainC2PL` / :class:`KConflictC2PL` — the Experiment 4 lower
+  bounds: C2PL plus only the admission constraint of CHAIN / K-WTPG
+  (no weights used for granting).
+
+All share the :class:`Scheduler` interface consumed by the machine model.
+"""
+
+from repro.core.schedulers.base import (AdmissionResponse, Decision,
+                                        LockResponse, Scheduler,
+                                        SchedulerStats)
+from repro.core.schedulers.asl import AtomicStaticLock
+from repro.core.schedulers.c2pl import CautiousTwoPhaseLock
+from repro.core.schedulers.chain_scheduler import ChainScheduler
+from repro.core.schedulers.kwtpg_scheduler import KWTPGScheduler
+from repro.core.schedulers.nodc import NoDataContention
+from repro.core.schedulers.hybrids import ChainC2PL, KConflictC2PL
+from repro.core.schedulers.twopl import BlockingTwoPhaseLock
+from repro.core.schedulers.wait_die import WaitDie
+
+SCHEDULER_FACTORIES = {
+    "2PL": BlockingTwoPhaseLock,
+    "WAIT-DIE": WaitDie,
+    "CHAIN": ChainScheduler,
+    "K2": lambda **kw: KWTPGScheduler(k=2, **kw),
+    "KWTPG": KWTPGScheduler,
+    "ASL": AtomicStaticLock,
+    "C2PL": CautiousTwoPhaseLock,
+    "NODC": NoDataContention,
+    "CHAIN-C2PL": ChainC2PL,
+    "K2-C2PL": lambda **kw: KConflictC2PL(k=2, **kw),
+}
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a scheduler by its paper name (e.g. ``"K2"``)."""
+    try:
+        factory = SCHEDULER_FACTORIES[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; choose from "
+            f"{sorted(SCHEDULER_FACTORIES)}") from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "AdmissionResponse",
+    "AtomicStaticLock",
+    "BlockingTwoPhaseLock",
+    "CautiousTwoPhaseLock",
+    "ChainC2PL",
+    "ChainScheduler",
+    "Decision",
+    "KConflictC2PL",
+    "KWTPGScheduler",
+    "LockResponse",
+    "NoDataContention",
+    "SCHEDULER_FACTORIES",
+    "Scheduler",
+    "WaitDie",
+    "SchedulerStats",
+    "make_scheduler",
+]

@@ -1,0 +1,184 @@
+"""K-WTPG — the K-conflict WTPG scheduler (CC2, Section 3.3).
+
+Local optimisation: a lock request ``q`` is granted only when its
+contention estimate ``E(q)`` (see :mod:`repro.core.estimator`) is the
+smallest among the conflicting lock-declarations ``C(q)``.  Requests that
+would deadlock (``E(q) = inf``) are delayed.
+
+The K-conflict constraint bounds ``|C(q)|``: each lock-declaration may
+conflict with at most K others; a new transaction violating this is
+aborted at start and re-submitted.  The paper evaluates K = 2 ("K2").
+Unlike CHAIN, any *shape* of WTPG is accepted.
+
+``k_count_mode`` selects what "K others" counts: ``"transactions"``
+(default — distinct conflicting transactions; reproduces the paper's
+measured Experiment 4 hybrid ordering) or ``"declarations"`` (the
+paper's literal wording; stricter on read-then-upgrade patterns, which
+declare two conflicting locks per rival).  See EXPERIMENTS.md for the
+calibration evidence.
+
+Control saving (Section 3.4): ``E`` values are cached and reused until
+``keeptime`` elapses, a transaction starts or commits, or a new precedence
+edge is generated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from repro.core import builder
+from repro.core.estimator import INFINITE_CONTENTION, estimate_contention
+from repro.core.locks import Declaration
+from repro.core.schedulers.base import (ControlSaver, Decision, LockResponse,
+                                        WTPGScheduler)
+from repro.core.transaction import TransactionRuntime
+
+
+class KWTPGScheduler(WTPGScheduler):
+    """CC2: grant q only when E(q) is minimal in C(q); K-conflict admitted."""
+
+    name = "K-WTPG"
+
+    def __init__(self, k: int = 2, kwtpgtime: float = 10.0,
+                 keeptime: float = 5000.0,
+                 admission_time: float = 5.0,
+                 k_count_mode: str = "transactions") -> None:
+        if k < 0:
+            raise ValueError(f"K must be non-negative, got {k}")
+        super().__init__()
+        self.k = k
+        self.kwtpgtime = kwtpgtime
+        self.admission_time = admission_time
+        self.k_count_mode = k_count_mode
+        self._saver = ControlSaver(keeptime)
+        # Cache of E values keyed by (tid, step_index).
+        self._e_cache: Dict[Tuple[int, int], float] = {}
+        # Deferral graph: tid -> rivals its last delay deferred to.
+        self._deferred_to: Dict[int, Set[int]] = {}
+
+    def _admission_cost(self) -> float:
+        return self.admission_time
+
+    # -- admission: the K-conflict constraint --------------------------------
+
+    def _admission_constraint(self, txn: TransactionRuntime,
+                              partners: Set[int], now: float) -> Optional[str]:
+        touched = set(txn.spec.partitions)
+        if self.table.k_conflict_violated(self.k, partitions=touched,
+                                          count=self.k_count_mode):
+            return f"K-conflict constraint (K={self.k}) violated"
+        return None
+
+    def _after_admit(self, txn: TransactionRuntime, now: float) -> None:
+        self._invalidate()
+
+    def _after_commit(self, txn: TransactionRuntime, now: float) -> None:
+        self._invalidate()
+
+    def _on_new_precedence_edge(self, now: float) -> None:
+        self._invalidate()  # condition 3) of the control-saving rule
+
+    def _invalidate(self) -> None:
+        self._saver.invalidate()
+        self._e_cache.clear()
+        self._deferred_to.clear()
+
+    # -- the E-minimality grant rule -------------------------------------------
+
+    def _evaluate_grant(self, txn: TransactionRuntime,
+                        implied: Sequence[Tuple[int, int]],
+                        now: float) -> LockResponse:
+        step = txn.step()
+        cost = 0.0
+
+        e_q, extra = self._estimate(txn.tid, txn.current_step, implied, now)
+        cost += extra
+        if e_q == INFINITE_CONTENTION:
+            self.stats.deadlock_predictions += 1
+            return LockResponse(Decision.DELAY, cpu_cost=cost,
+                                reason="E(q) infinite: predicted deadlock")
+
+        competitors = self._earliest_per_rival(
+            self.table.pending_conflicts(txn.tid, step.partition, step.mode))
+        for decl in competitors:
+            e_rival, extra = self._estimate_declaration(decl, now)
+            cost += extra
+            if e_rival < e_q:
+                if self._would_close_deferral_cycle(txn.tid, decl.tid):
+                    break  # granting beats a certain standoff
+                self._deferred_to.setdefault(txn.tid, set()).add(decl.tid)
+                return LockResponse(
+                    Decision.DELAY, cpu_cost=cost,
+                    reason=f"E(q)={e_q:g} not minimal: T{decl.tid}'s "
+                           f"declaration has E={e_rival:g}")
+        self._deferred_to.pop(txn.tid, None)
+        return LockResponse(Decision.GRANT, cpu_cost=cost)
+
+    @staticmethod
+    def _earliest_per_rival(declarations):
+        """Each rival's earliest pending conflicting declaration on the
+        requested granule.
+
+        A transaction issues its steps in order, so on one granule the
+        only request a rival can make next is its earliest pending
+        declaration there; later ones would double-count the same rival
+        with (misleadingly low) E values — the first livelock our
+        property suite found.  Cross-granule livelocks (each transaction
+        deferred to a declaration the other can only issue after the
+        very step being delayed) are handled separately by the
+        deferral-cycle breaker in :meth:`_evaluate_grant`.
+        """
+        earliest = {}
+        for decl in declarations:
+            kept = earliest.get(decl.tid)
+            if kept is None or decl.step_index < kept.step_index:
+                earliest[decl.tid] = decl
+        return [earliest[tid] for tid in sorted(earliest)]
+
+    def _would_close_deferral_cycle(self, tid: int, rival: int) -> bool:
+        """True if deferring ``tid`` to ``rival`` closes a wait cycle.
+
+        The E-minimality rule can deadlock *itself*: T defers to a
+        declaration of Tj while Tj (transitively) defers to a
+        declaration of T — none of them is lock-blocked, yet none can be
+        granted, and since nothing changes, no weight adjustment ever
+        breaks the standoff.  The paper does not consider this case; we
+        grant the request that would close the cycle (its delay could
+        help nobody).  Deferral edges are cleared whenever the schedule
+        changes (start/commit/new precedence edge), so stale edges can
+        at worst cause one early grant.
+        """
+        seen = set()
+        stack = [rival]
+        while stack:
+            node = stack.pop()
+            if node == tid:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._deferred_to.get(node, ()))
+        return False
+
+    def _estimate(self, tid: int, step_index: int,
+                  implied: Sequence[Tuple[int, int]],
+                  now: float) -> Tuple[float, float]:
+        """E value for a (tid, step) with given implications, plus CPU cost."""
+        key = (tid, step_index)
+        if not self._saver.stale(now) and key in self._e_cache:
+            return self._e_cache[key], 0.0
+        if self._saver.stale(now):
+            # A fresh computation round starts: drop every stale value.
+            self._e_cache.clear()
+            self._saver.mark_computed(now)
+        value = estimate_contention(self.wtpg, tid, implied)
+        self._e_cache[key] = value
+        self.stats.estimator_calls += 1
+        return value, self.kwtpgtime
+
+    def _estimate_declaration(self, decl: Declaration,
+                              now: float) -> Tuple[float, float]:
+        """E for a rival pending declaration, granted hypothetically now."""
+        implied = builder.implied_resolutions(
+            self.table, self.wtpg, decl.tid, decl.partition, decl.mode)
+        return self._estimate(decl.tid, decl.step_index, implied, now)

@@ -1,0 +1,31 @@
+"""NODC — NO Data Contention.
+
+Grants any lock at any time: transactions proceed as if every conflict
+were invisible.  This deliberately breaks serializability; the paper uses
+it purely to expose the resource-contention-only upper bound of the
+machine ("for clarifying the upper bound of performance"), and Experiment
+1 reads the useful-utilization ratio of real schedulers against NODC's
+throughput.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedulers.base import (AdmissionResponse, Decision,
+                                        LockResponse, Scheduler)
+from repro.core.transaction import TransactionRuntime
+
+
+class NoDataContention(Scheduler):
+    """The contention-free upper bound; not a correct scheduler."""
+
+    name = "NODC"
+
+    def _admit(self, txn: TransactionRuntime, now: float) -> AdmissionResponse:
+        return AdmissionResponse(True)
+
+    def _request_lock(self, txn: TransactionRuntime,
+                      now: float) -> LockResponse:
+        return LockResponse(Decision.GRANT, reason="nodc")
+
+    def _commit(self, txn: TransactionRuntime, now: float) -> None:
+        pass

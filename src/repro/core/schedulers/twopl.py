@@ -1,0 +1,103 @@
+"""Classic blocking 2PL with deadlock detection and transaction restart.
+
+The paper deliberately *excludes* this scheduler: "a bulk-operation is
+too expensive to abort, [so] schedulers for BATs should avoid chains of
+blocking without aborting transactions."  We provide it anyway, as the
+reference point that quantifies the claim — under BAT workloads its
+restarts throw away whole bulk scans.
+
+Semantics: strict 2PL at partition granularity; locks are requested step
+by step with no use of the pre-declared information; a request that
+conflicts with a holder waits.  Waiting is represented by a *wait-for*
+map (requester -> holders); when a (re-)request closes a wait-for cycle,
+the **requester** is chosen as the deadlock victim and aborted — the
+machine releases its locks, discards its work and re-submits it from
+scratch after the retry delay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.core.locks import LockTable
+from repro.core.schedulers.base import (AdmissionResponse, Decision,
+                                        LockResponse, Scheduler)
+from repro.core.transaction import TransactionRuntime
+from repro.errors import LockTableError
+
+
+class BlockingTwoPhaseLock(Scheduler):
+    """Plain strict 2PL: block on conflict, abort the victim on deadlock."""
+
+    name = "2PL"
+
+    def __init__(self, ddtime: float = 5.0, admission_time: float = 0.0) -> None:
+        super().__init__()
+        self.table = LockTable()
+        self.ddtime = ddtime
+        self.admission_time = admission_time
+        # tid -> holders it currently waits for (rebuilt per blocked try).
+        self._waiting_for: Dict[int, Set[int]] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _admit(self, txn: TransactionRuntime, now: float) -> AdmissionResponse:
+        # No admission constraint; declarations are registered only so the
+        # common lock-table machinery (grants, holds) can be reused.
+        self.table.register(txn.spec)
+        return AdmissionResponse(True, cpu_cost=self.admission_time)
+
+    def _request_lock(self, txn: TransactionRuntime,
+                      now: float) -> LockResponse:
+        step = txn.step()
+        tid = txn.tid
+        if self.table.holds(tid, step.partition, step.mode):
+            self._consume_if_pending(tid, txn.current_step)
+            self._waiting_for.pop(tid, None)
+            return LockResponse(Decision.GRANT, reason="already held")
+        holders = self.table.conflicting_holders(tid, step.partition,
+                                                 step.mode)
+        if not holders:
+            self.table.grant(tid, txn.current_step)
+            self._waiting_for.pop(tid, None)
+            return LockResponse(Decision.GRANT)
+
+        # Blocked: record the wait and test for a wait-for cycle.
+        self._waiting_for[tid] = set(holders)
+        if self._in_cycle(tid):
+            self.stats.deadlock_predictions += 1
+            return LockResponse(Decision.ABORT, cpu_cost=self.ddtime,
+                                reason=f"deadlock victim (waits for "
+                                       f"{sorted(holders)})")
+        return LockResponse(Decision.BLOCK, cpu_cost=self.ddtime,
+                            reason=f"blocked by {sorted(holders)}")
+
+    def _consume_if_pending(self, tid: int, step_index: int) -> None:
+        try:
+            self.table.grant(tid, step_index)
+        except LockTableError:
+            pass
+
+    def _in_cycle(self, start: int) -> bool:
+        seen: Set[int] = set()
+        stack = list(self._waiting_for.get(start, ()))
+        while stack:
+            node = stack.pop()
+            if node == start:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._waiting_for.get(node, ()))
+        return False
+
+    def abort_transaction(self, txn: TransactionRuntime,
+                          now: float = 0.0) -> None:
+        """Release everything; the machine re-submits the transaction."""
+        self._waiting_for.pop(txn.tid, None)
+        if self.table.is_registered(txn.tid):
+            self.table.unregister(txn.tid)
+
+    def _commit(self, txn: TransactionRuntime, now: float) -> None:
+        self._waiting_for.pop(txn.tid, None)
+        self.table.unregister(txn.tid)

@@ -1,0 +1,85 @@
+"""Wait-Die: timestamp-ordered 2PL (Rosenkrantz et al. 1978).
+
+Another classic deadlock-free baseline, included alongside
+:class:`~repro.core.schedulers.twopl.BlockingTwoPhaseLock` to map the
+abort-cost landscape the paper's no-abort stance is about:
+
+* an *older* transaction (smaller timestamp = earlier first arrival)
+  blocked by a younger holder **waits**;
+* a *younger* transaction blocked by an older holder **dies** — it
+  aborts immediately and restarts with its original timestamp, so it
+  eventually becomes the oldest and gets through (no starvation).
+
+No wait-for graph is needed: waits only ever point young -> old... i.e.
+from younger waiters to older holders, so cycles are impossible.  The
+price is exactly what the paper refuses to pay: dying throws away bulk
+work, and young BATs may die many times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.locks import LockTable
+from repro.core.schedulers.base import (AdmissionResponse, Decision,
+                                        LockResponse, Scheduler)
+from repro.core.transaction import TransactionRuntime
+from repro.errors import LockTableError
+
+
+class WaitDie(Scheduler):
+    """Timestamp-ordered 2PL: old waits, young dies."""
+
+    name = "WAIT-DIE"
+
+    def __init__(self, ddtime: float = 5.0, admission_time: float = 0.0) -> None:
+        super().__init__()
+        self.table = LockTable()
+        self.ddtime = ddtime
+        self.admission_time = admission_time
+        # Timestamps survive restarts: tid -> first-admission time.
+        self._timestamps: Dict[int, float] = {}
+
+    def _admit(self, txn: TransactionRuntime, now: float) -> AdmissionResponse:
+        self.table.register(txn.spec)
+        self._timestamps.setdefault(txn.tid, now)
+        return AdmissionResponse(True, cpu_cost=self.admission_time)
+
+    def _request_lock(self, txn: TransactionRuntime,
+                      now: float) -> LockResponse:
+        step = txn.step()
+        tid = txn.tid
+        if self.table.holds(tid, step.partition, step.mode):
+            self._consume_if_pending(tid, txn.current_step)
+            return LockResponse(Decision.GRANT, reason="already held")
+        holders = self.table.conflicting_holders(tid, step.partition,
+                                                 step.mode)
+        if not holders:
+            self.table.grant(tid, txn.current_step)
+            return LockResponse(Decision.GRANT)
+        own_ts = self._timestamps[tid]
+        oldest_holder_ts = min(self._timestamps.get(h, float("inf"))
+                               for h in holders)
+        if own_ts < oldest_holder_ts:
+            # Older than every holder: allowed to wait.
+            return LockResponse(Decision.BLOCK, cpu_cost=self.ddtime,
+                                reason=f"older waiter behind "
+                                       f"{sorted(holders)}")
+        return LockResponse(Decision.ABORT, cpu_cost=self.ddtime,
+                            reason="younger than a holder: dies")
+
+    def _consume_if_pending(self, tid: int, step_index: int) -> None:
+        try:
+            self.table.grant(tid, step_index)
+        except LockTableError:
+            pass
+
+    def abort_transaction(self, txn: TransactionRuntime,
+                          now: float = 0.0) -> None:
+        """Release locks; the timestamp is kept (anti-starvation)."""
+        if self.table.is_registered(txn.tid):
+            self.table.unregister(txn.tid)
+
+    def _commit(self, txn: TransactionRuntime, now: float) -> None:
+        self.table.unregister(txn.tid)
+        self._timestamps.pop(txn.tid, None)

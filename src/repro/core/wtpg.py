@@ -1,0 +1,383 @@
+"""Weighted Transaction Precedence Graph (Definition 1, Section 3.1).
+
+Nodes are active transactions plus two virtual nodes: ``T0`` (the initial
+transaction — represented implicitly by per-node *source weights*
+``w(T0 -> Ti)``) and ``Tf`` (the final transaction — per-node *sink
+weights* ``w(Ti -> Tf)``, zero under the paper's cost model).
+
+Between two transactions there is at most one *pair edge* ``(Ti, Tj)``
+carrying both directed weights.  A pair starts *unresolved* (a
+conflicting-edge, shown as the shaded double arrow in the paper's figures)
+and is *resolved* into a precedence-edge when the serialization order of
+the two transactions becomes fixed.  Resolution is monotone: a pair can
+never flip direction — attempting to is exactly what the schedulers must
+detect and avoid (a predicted deadlock / inconsistency with the optimised
+order W).
+
+Weights are object counts and under the sequential-access transaction model
+each weight is the shortest possible time (in ``ObjTime`` units) between
+two schedule events; the critical (longest) ``T0 -> Tf`` path of a fully
+resolved WTPG is therefore the earliest possible completion time of the
+whole schedule — the quantity both proposed schedulers minimise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import WTPGError
+
+Pair = FrozenSet[int]
+
+
+def _pair(a: int, b: int) -> Pair:
+    if a == b:
+        raise WTPGError(f"a transaction cannot conflict with itself: T{a}")
+    return frozenset((a, b))
+
+
+@dataclass
+class PairEdge:
+    """The conflicting/precedence edge between one pair of transactions.
+
+    ``weight_to(b)`` is ``w(a -> b)``: the objects ``b`` must still access
+    after ``a`` commits before ``b`` itself can commit.  ``resolved_to`` is
+    ``None`` while the pair is a conflicting-edge, otherwise the tid that
+    *follows* in the serialization order.
+    """
+
+    a: int
+    b: int
+    weight_ab: float = 0.0  # w(a -> b)
+    weight_ba: float = 0.0  # w(b -> a)
+    resolved_to: Optional[int] = None  # the successor tid, or None
+
+    def weight_to(self, successor: int) -> float:
+        if successor == self.b:
+            return self.weight_ab
+        if successor == self.a:
+            return self.weight_ba
+        raise WTPGError(f"T{successor} is not part of pair ({self.a},{self.b})")
+
+    def raise_weight_to(self, successor: int, weight: float) -> None:
+        """Set ``w(other -> successor)`` to the max of old and new.
+
+        The paper: when several step pairs of the same two transactions
+        conflict, each directed weight takes the largest ``due`` value.
+        """
+        if successor == self.b:
+            self.weight_ab = max(self.weight_ab, weight)
+        elif successor == self.a:
+            self.weight_ba = max(self.weight_ba, weight)
+        else:
+            raise WTPGError(
+                f"T{successor} is not part of pair ({self.a},{self.b})")
+
+    @property
+    def resolved(self) -> bool:
+        return self.resolved_to is not None
+
+    def predecessor(self) -> int:
+        if self.resolved_to is None:
+            raise WTPGError(f"pair ({self.a},{self.b}) is unresolved")
+        return self.a if self.resolved_to == self.b else self.b
+
+    def other(self, tid: int) -> int:
+        if tid == self.a:
+            return self.b
+        if tid == self.b:
+            return self.a
+        raise WTPGError(f"T{tid} is not part of pair ({self.a},{self.b})")
+
+
+class WTPG:
+    """The weighted transaction precedence graph of all active transactions."""
+
+    def __init__(self) -> None:
+        self._source: Dict[int, float] = {}   # w(T0 -> Ti)
+        self._sink: Dict[int, float] = {}     # w(Ti -> Tf), 0 in the paper
+        self._pairs: Dict[Pair, PairEdge] = {}
+        self._neighbors: Dict[int, Set[int]] = {}
+        # Incrementally maintained precedence adjacency (resolved pairs
+        # only) so successor/ancestor queries do not scan all pair edges.
+        self._succ: Dict[int, Set[int]] = {}
+        self._pred: Dict[int, Set[int]] = {}
+
+    # -- nodes ---------------------------------------------------------------
+
+    @property
+    def transactions(self) -> Set[int]:
+        return set(self._source)
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._source
+
+    def __len__(self) -> int:
+        return len(self._source)
+
+    def add_transaction(self, tid: int, source_weight: float,
+                        sink_weight: float = 0.0) -> None:
+        """Add a node with ``w(T0->Ti) = source_weight`` (its total due)."""
+        if tid in self._source:
+            raise WTPGError(f"T{tid} is already in the WTPG")
+        if source_weight < 0 or sink_weight < 0:
+            raise WTPGError("WTPG weights must be non-negative")
+        self._source[tid] = source_weight
+        self._sink[tid] = sink_weight
+        self._neighbors[tid] = set()
+        self._succ[tid] = set()
+        self._pred[tid] = set()
+
+    def remove_transaction(self, tid: int) -> None:
+        """Drop a node and all its pair edges (commit or admission abort)."""
+        self._require(tid)
+        del self._source[tid]
+        del self._sink[tid]
+        for other in self._neighbors.pop(tid):
+            self._neighbors[other].discard(tid)
+            self._succ[other].discard(tid)
+            self._pred[other].discard(tid)
+            del self._pairs[_pair(tid, other)]
+        del self._succ[tid]
+        del self._pred[tid]
+
+    def _require(self, tid: int) -> None:
+        if tid not in self._source:
+            raise WTPGError(f"T{tid} is not in the WTPG")
+
+    # -- weights ---------------------------------------------------------------
+
+    def source_weight(self, tid: int) -> float:
+        self._require(tid)
+        return self._source[tid]
+
+    def set_source_weight(self, tid: int, value: float) -> None:
+        self._require(tid)
+        self._source[tid] = max(0.0, value)
+
+    def decrement_source(self, tid: int, objects: float = 1.0) -> None:
+        """Apply a weight-adjustment message (one object processed)."""
+        self._require(tid)
+        self._source[tid] = max(0.0, self._source[tid] - objects)
+
+    # -- pair edges -------------------------------------------------------------
+
+    def ensure_pair(self, a: int, b: int) -> PairEdge:
+        """The pair edge for (a, b), created unresolved if absent."""
+        self._require(a)
+        self._require(b)
+        key = _pair(a, b)
+        edge = self._pairs.get(key)
+        if edge is None:
+            lo, hi = min(a, b), max(a, b)
+            edge = PairEdge(lo, hi)
+            self._pairs[key] = edge
+            self._neighbors[a].add(b)
+            self._neighbors[b].add(a)
+        return edge
+
+    def pair(self, a: int, b: int) -> Optional[PairEdge]:
+        return self._pairs.get(_pair(a, b))
+
+    def pairs(self) -> Tuple[PairEdge, ...]:
+        return tuple(self._pairs.values())
+
+    def unresolved_pairs(self) -> Tuple[PairEdge, ...]:
+        return tuple(e for e in self._pairs.values() if not e.resolved)
+
+    def conflict_neighbors(self, tid: int) -> Set[int]:
+        """All transactions sharing a pair edge with ``tid`` (any state)."""
+        self._require(tid)
+        return set(self._neighbors[tid])
+
+    def orientation(self, a: int, b: int) -> Optional[Tuple[int, int]]:
+        """``(pred, succ)`` if the pair is resolved, else None."""
+        edge = self._pairs.get(_pair(a, b))
+        if edge is None or not edge.resolved:
+            return None
+        return (edge.predecessor(), edge.resolved_to)  # type: ignore[arg-type]
+
+    def resolve(self, predecessor: int, successor: int) -> None:
+        """Resolve the pair so ``predecessor`` precedes ``successor``.
+
+        Idempotent for an identical resolution; raises on an attempt to
+        flip an already resolved pair (callers must detect that case as a
+        deadlock/inconsistency *before* resolving).
+        """
+        edge = self._pairs.get(_pair(predecessor, successor))
+        if edge is None:
+            raise WTPGError(
+                f"no conflicting-edge between T{predecessor} and T{successor}")
+        if edge.resolved:
+            if edge.resolved_to != successor:
+                raise WTPGError(
+                    f"pair ({edge.a},{edge.b}) already resolved the other way")
+            return
+        edge.resolved_to = successor
+        self._succ[predecessor].add(successor)
+        self._pred[successor].add(predecessor)
+
+    # -- precedence structure -----------------------------------------------------
+
+    def predecessors(self, tid: int) -> Set[int]:
+        """Direct predecessors of ``tid`` via resolved pairs."""
+        self._require(tid)
+        return set(self._pred[tid])
+
+    def successors(self, tid: int) -> Set[int]:
+        """Direct successors of ``tid`` via resolved pairs."""
+        self._require(tid)
+        return set(self._succ[tid])
+
+    def ancestors(self, tid: int) -> Set[int]:
+        """``before(T)``: every transaction preceding ``tid`` transitively."""
+        self._require(tid)
+        return self._closure(tid, self._pred)
+
+    def descendants(self, tid: int) -> Set[int]:
+        """``after(T)``: every transaction following ``tid`` transitively."""
+        self._require(tid)
+        return self._closure(tid, self._succ)
+
+    def _closure(self, tid: int, adjacency: Dict[int, Set[int]]) -> Set[int]:
+        seen: Set[int] = set()
+        stack = [tid]
+        while stack:
+            node = stack.pop()
+            for nxt in adjacency[node]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        seen.discard(tid)
+        return seen
+
+    def has_precedence_cycle(self) -> bool:
+        """True if the resolved (precedence) edges contain a cycle."""
+        return self._topological_order() is None
+
+    def creates_cycle_from(self, tid: int, targets: Iterable[int]) -> bool:
+        """Would adding edges ``tid -> t`` for each target close a cycle?
+
+        Copy-free probe: the existing precedence graph is acyclic, so any
+        new cycle must pass through one of the new edges and return to
+        ``tid`` — i.e. some target already reaches ``tid``.
+        """
+        self._require(tid)
+        goal = set(targets)
+        if tid in goal:
+            return True
+        seen: Set[int] = set()
+        stack = [t for t in goal if t in self._source]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            for succ in self._succ[node]:
+                if succ == tid:
+                    return True
+                if succ not in seen:
+                    stack.append(succ)
+        return False
+
+    def _topological_order(self) -> Optional[List[int]]:
+        indegree = {tid: 0 for tid in self._source}
+        for edge in self._pairs.values():
+            if edge.resolved:
+                indegree[edge.resolved_to] += 1  # type: ignore[index]
+        queue = sorted(tid for tid, deg in indegree.items() if deg == 0)
+        order: List[int] = []
+        # Kahn's algorithm; sorted pops keep the order deterministic.
+        from heapq import heapify, heappop, heappush
+        heap = list(queue)
+        heapify(heap)
+        while heap:
+            node = heappop(heap)
+            order.append(node)
+            for succ in self._succ[node]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    heappush(heap, succ)
+        if len(order) != len(self._source):
+            return None
+        return order
+
+    # -- critical path -----------------------------------------------------------
+
+    def critical_path_length(self) -> float:
+        """Length of the longest ``T0 -> Tf`` path over precedence edges.
+
+        Unresolved conflicting-edges are ignored (deleted), as in Step 3 of
+        the estimator ``E(q)``.  Raises :class:`WTPGError` on a precedence
+        cycle — check :meth:`has_precedence_cycle` first where a cycle is a
+        legal outcome to detect.
+        """
+        order = self._topological_order()
+        if order is None:
+            raise WTPGError("cannot take critical path of a cyclic WTPG")
+        if not order:
+            return 0.0
+        dist: Dict[int, float] = {}
+        for tid in order:
+            best = self._source[tid]
+            for pred in self.predecessors(tid):
+                edge = self._pairs[_pair(tid, pred)]
+                best = max(best, dist[pred] + edge.weight_to(tid))
+            dist[tid] = best
+        return max(dist[tid] + self._sink[tid] for tid in order)
+
+    def critical_path(self) -> Tuple[float, List[int]]:
+        """Critical path length plus one witnessing node sequence."""
+        order = self._topological_order()
+        if order is None:
+            raise WTPGError("cannot take critical path of a cyclic WTPG")
+        if not order:
+            return 0.0, []
+        dist: Dict[int, float] = {}
+        via: Dict[int, Optional[int]] = {}
+        for tid in order:
+            best, best_pred = self._source[tid], None
+            for pred in self.predecessors(tid):
+                edge = self._pairs[_pair(tid, pred)]
+                candidate = dist[pred] + edge.weight_to(tid)
+                if candidate > best:
+                    best, best_pred = candidate, pred
+            dist[tid] = best
+            via[tid] = best_pred
+        end = max(order, key=lambda t: dist[t] + self._sink[t])
+        path: List[int] = []
+        node: Optional[int] = end
+        while node is not None:
+            path.append(node)
+            node = via[node]
+        path.reverse()
+        return dist[end] + self._sink[end], path
+
+    # -- copying ------------------------------------------------------------------
+
+    def copy(self) -> "WTPG":
+        """An independent deep copy, for hypothetical (what-if) evaluation."""
+        clone = WTPG()
+        clone._source = dict(self._source)
+        clone._sink = dict(self._sink)
+        clone._neighbors = {tid: set(nbrs) for tid, nbrs in self._neighbors.items()}
+        clone._succ = {tid: set(s) for tid, s in self._succ.items()}
+        clone._pred = {tid: set(p) for tid, p in self._pred.items()}
+        clone._pairs = {
+            key: PairEdge(e.a, e.b, e.weight_ab, e.weight_ba, e.resolved_to)
+            for key, e in self._pairs.items()}
+        return clone
+
+    def __repr__(self) -> str:
+        pairs = []
+        for edge in self._pairs.values():
+            if edge.resolved:
+                pred = edge.predecessor()
+                succ = edge.resolved_to
+                pairs.append(f"T{pred}->T{succ}:{edge.weight_to(succ):g}")
+            else:
+                pairs.append(
+                    f"(T{edge.a},T{edge.b}):{edge.weight_ab:g}/{edge.weight_ba:g}")
+        nodes = ", ".join(f"T{t}:{w:g}" for t, w in sorted(self._source.items()))
+        return f"<WTPG nodes=[{nodes}] pairs=[{', '.join(pairs)}]>"

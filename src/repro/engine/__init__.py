@@ -1,0 +1,44 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free process-oriented DES in the style of SimPy:
+processes are Python generators that ``yield`` events; the
+:class:`~repro.engine.core.Environment` advances a virtual clock and resumes
+processes when the events they wait on are triggered.
+
+The kernel is deliberately deterministic: events scheduled for the same
+instant fire in schedule order (a monotone sequence number breaks ties), and
+all randomness is confined to :class:`~repro.engine.rng.RandomStreams`, which
+derives independent named substreams from a single integer seed.
+
+Public surface::
+
+    from repro.engine import Environment, Event, Timeout, Process
+    from repro.engine import Resource, PriorityResource, Store
+    from repro.engine import RandomStreams
+
+    env = Environment()
+
+    def worker(env, resource):
+        with (yield from resource.acquire()):
+            yield env.timeout(5)
+
+    env.process(worker(env, Resource(env, capacity=1)))
+    env.run(until=100)
+"""
+
+from repro.engine.core import Environment, Event, Process, Timeout, AnyOf, AllOf
+from repro.engine.resources import PriorityResource, Resource, Store
+from repro.engine.rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "PriorityResource",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "Store",
+    "Timeout",
+]

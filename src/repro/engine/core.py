@@ -1,0 +1,378 @@
+"""Core of the discrete-event engine: events, processes and the environment.
+
+Time is a number (the simulator uses integer milliseconds, "clocks", but the
+kernel works with any non-negative numeric delay).  The three central
+concepts are:
+
+* :class:`Event` — a one-shot occurrence with a value.  Callbacks attached to
+  an event run when the environment processes it.
+* :class:`Process` — a generator wrapped as an event.  The generator yields
+  events; the process resumes when each yielded event fires and the process
+  event itself succeeds with the generator's return value.
+* :class:`Environment` — the clock plus a heap of ``(time, seq, event)``
+  entries.  Same-time events are processed in schedule order, which makes
+  whole simulations reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import EngineStateError
+
+_PENDING = object()
+
+
+class _FailureCarrier:
+    """Minimal event-shaped object used to throw an error into a process."""
+
+    def __init__(self, exception: BaseException) -> None:
+        self._ok = False
+        self._value = exception
+        self._defused = True
+
+
+def _failure(exception: BaseException) -> "_FailureCarrier":
+    return _FailureCarrier(exception)
+
+
+class Event:
+    """A one-shot occurrence inside an :class:`Environment`.
+
+    An event starts *untriggered*; calling :meth:`succeed` or :meth:`fail`
+    schedules it, and the environment then *processes* it, running the
+    attached callbacks.  Processes wait on events simply by yielding them.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+        self._processed = False
+        # Failures must not pass silently: if a failed event is never
+        # yielded-on, the environment re-raises at the end of the run.
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it may not be processed yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the environment has run this event's callbacks."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event has not triggered yet."""
+        if self._value is _PENDING:
+            raise EngineStateError("value of untriggered event is not available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value`` (chainable)."""
+        if self.triggered:
+            raise EngineStateError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception (chainable)."""
+        if self.triggered:
+            raise EngineStateError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def __repr__(self) -> str:
+        state = "processed" if self._processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after its creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self)
+
+
+class Process(Event):
+    """A running process; also an event that fires when the process ends.
+
+    The wrapped generator yields :class:`Event` instances.  When a yielded
+    event fails, the exception is thrown into the generator, so processes can
+    handle failures with ordinary ``try``/``except``.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._value is _PENDING
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.env._schedule(self)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self._defused = False
+                self.env._schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                event = _failure(TypeError(
+                    f"process yielded a non-event: {next_event!r}"))
+                continue
+            if next_event.env is not self.env:
+                event = _failure(EngineStateError(
+                    "process yielded an event from a different environment"))
+                continue
+
+            self._target = next_event
+            if next_event._processed:
+                # Already fired: resume synchronously with its value.
+                event = next_event
+                continue
+            next_event.callbacks.append(self._resume)
+            break
+
+        self.env._active_process = None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise EngineStateError("cannot interrupt a finished process")
+        if self is self.env.active_process:
+            raise EngineStateError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        # Detach from whatever the process currently waits on.
+        target = self._target
+        if target is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._target = None
+        event.callbacks.append(self._resume)
+        self.env._schedule(event)
+
+
+class Interrupt(Exception):
+    """Raised inside a process when :meth:`Process.interrupt` is called."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Condition(Event):
+    """An event that triggers based on a set of sub-events.
+
+    Used through :class:`AnyOf` / :class:`AllOf`.  The value is a dict
+    mapping each *triggered* sub-event to its value at trigger time.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event],
+                 evaluate: Callable[[int, int], bool]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._done = 0
+        for event in self._events:
+            if event.env is not self.env:
+                raise EngineStateError(
+                    "condition spans events from different environments")
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event._processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        return {event: event._value for event in self._events
+                if event._processed}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._done += 1
+        if self._evaluate(len(self._events), self._done):
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Triggers as soon as any sub-event triggers."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, events, lambda total, done: done >= 1)
+
+
+class AllOf(Condition):
+    """Triggers when every sub-event has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, events, lambda total, done: done == total)
+
+
+class Environment:
+    """The simulation clock and event loop."""
+
+    def __init__(self, initial_time: float = 0) -> None:
+        self._now = initial_time
+        self._queue: List = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event bound to this environment."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start ``generator`` as a process; returns its process event."""
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event, advancing the clock to its time."""
+        if not self._queue:
+            raise EngineStateError("no more events to process")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused and not callbacks:
+            # A failure nobody waited on: surface it instead of losing it.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> Any:
+        """Run until the queue drains, ``until`` time passes, or an event.
+
+        ``until`` may be a number (run up to that time, then set ``now`` to
+        it) or an :class:`Event` (run until it is processed and return its
+        value).
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until ({stop_time}) must not lie in the past "
+                    f"(now={self._now})")
+
+        while self._queue:
+            if stop_event is not None and stop_event._processed:
+                if not stop_event._ok:
+                    stop_event._defused = True
+                    raise stop_event._value
+                return stop_event._value
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event._processed:
+                if not stop_event._ok:
+                    stop_event._defused = True
+                    raise stop_event._value
+                return stop_event._value
+            raise EngineStateError(
+                "event queue drained before the awaited event triggered")
+        if stop_time != float("inf"):
+            self._now = stop_time
+        return None

@@ -1,0 +1,197 @@
+"""Shared resources for the discrete-event engine.
+
+The simulator models two kinds of servers:
+
+* :class:`Resource` — a counted resource with FIFO queueing (used for the
+  control node's CPU, which serialises concurrency-control work).
+* :class:`PriorityResource` — same, but requests carry a priority and lower
+  values are served first (ties broken FIFO).
+* :class:`Store` — an unbounded message queue between processes (used for
+  the per-object weight-adjustment messages from data nodes to the control
+  node).
+
+The usage protocol mirrors SimPy::
+
+    req = cpu.request()
+    yield req
+    try:
+        yield env.timeout(cost)
+    finally:
+        cpu.release(req)
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Deque, List, Optional
+from collections import deque
+
+from repro.engine.core import Environment, Event
+from repro.errors import EngineStateError
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+class Resource:
+    """A counted resource with FIFO discipline.
+
+    ``capacity`` units exist; a :meth:`request` either succeeds immediately
+    or queues.  :meth:`release` wakes the head of the queue.  Cancelling a
+    queued request (e.g. after losing a race with a timeout) is supported
+    via :meth:`cancel`.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: Deque[Request] = deque()
+        # Cumulative busy integral for utilization reporting.
+        self._busy_area = 0.0
+        self._last_change = env.now
+
+    @property
+    def in_use(self) -> int:
+        """Number of units currently granted."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a unit."""
+        return len(self._waiting)
+
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_area += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    def busy_time(self) -> float:
+        """Unit-weighted busy time accumulated so far (for utilization)."""
+        self._account()
+        return self._busy_area
+
+    def request(self) -> Request:
+        """Claim one unit; the returned event fires when granted."""
+        req = Request(self)
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a granted unit, waking the next queued request."""
+        if request.resource is not self:
+            raise EngineStateError("request released to the wrong resource")
+        if not request.triggered:
+            raise EngineStateError(
+                "cannot release a request that was never granted; "
+                "use cancel() for queued requests")
+        self._account()
+        self._in_use -= 1
+        if self._in_use < 0:
+            raise EngineStateError("resource released more than acquired")
+        self._wake_next()
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a queued (ungranted) request."""
+        if request.triggered:
+            raise EngineStateError("cannot cancel a granted request")
+        try:
+            self._waiting.remove(request)
+        except ValueError:
+            raise EngineStateError("request is not queued on this resource")
+
+    def _wake_next(self) -> None:
+        while self._waiting and self._in_use < self.capacity:
+            req = self._waiting.popleft()
+            self._in_use += 1
+            req.succeed()
+
+
+class PriorityRequest(Request):
+    """A claim on a :class:`PriorityResource` carrying a priority key."""
+
+    def __init__(self, resource: "PriorityResource", priority: float) -> None:
+        super().__init__(resource)
+        self.priority = priority
+
+
+class PriorityResource(Resource):
+    """A counted resource serving lower-priority-value requests first."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._heap: List = []
+        self._ticket = count()
+
+    @property
+    def queue_length(self) -> int:
+        return sum(1 for _, _, req in self._heap if not req.triggered)
+
+    def request(self, priority: float = 0) -> PriorityRequest:  # type: ignore[override]
+        req = PriorityRequest(self, priority)
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            req.succeed()
+        else:
+            heapq.heappush(self._heap, (priority, next(self._ticket), req))
+        return req
+
+    def cancel(self, request: Request) -> None:
+        if request.triggered:
+            raise EngineStateError("cannot cancel a granted request")
+        # Lazy deletion: mark and skip at wake time.
+        request._cancelled = True  # type: ignore[attr-defined]
+
+    def _wake_next(self) -> None:
+        while self._heap and self._in_use < self.capacity:
+            _, _, req = heapq.heappop(self._heap)
+            if getattr(req, "_cancelled", False):
+                continue
+            self._in_use += 1
+            req.succeed()
+
+
+class Store:
+    """An unbounded FIFO channel of items between processes."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking one waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next item (immediately if available)."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def peek(self) -> Optional[Any]:
+        """The next item without removing it, or None when empty."""
+        return self._items[0] if self._items else None

@@ -1,0 +1,112 @@
+"""Shared experiment infrastructure: arrival-rate sweeps per scheduler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.config import SimulationParameters
+from repro.machine.cluster import WorkloadFn, run_simulation
+from repro.machine.partition import Catalog
+from repro.metrics.collector import RunMetrics
+from repro.metrics.interpolate import throughput_at_response_time
+from repro.errors import ExperimentError
+
+# The paper compares schedulers at a mean response time of 70 seconds.
+RT_TARGET_CLOCKS = 70_000.0
+
+# Default full-fidelity horizon (the paper's run length).
+PAPER_CLOCKS = 2_000_000.0
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs every experiment accepts (scaled down for quick runs)."""
+
+    sim_clocks: float = PAPER_CLOCKS
+    seed: int = 1
+    schedulers: Sequence[str] = ("ASL", "C2PL", "CHAIN", "K2", "NODC")
+    arrival_rates: Sequence[float] = (
+        0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1)
+    progress: Optional[Callable[[str], None]] = None
+
+    def report(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+
+@dataclass
+class SchedulerCurve:
+    """One scheduler's measured points over an arrival-rate sweep."""
+
+    scheduler: str
+    points: List[RunMetrics] = field(default_factory=list)
+
+    @property
+    def arrival_rates(self) -> List[float]:
+        return [p.arrival_rate_tps for p in self.points]
+
+    @property
+    def response_times(self) -> List[float]:
+        return [p.mean_response_time for p in self.points]
+
+    @property
+    def response_times_seconds(self) -> List[float]:
+        return [p.mean_response_time / 1000.0 for p in self.points]
+
+    @property
+    def throughputs(self) -> List[float]:
+        return [p.throughput_tps for p in self.points]
+
+    def throughput_at_rt(self, target: float = RT_TARGET_CLOCKS,
+                         ) -> Optional[float]:
+        """The paper's 'throughput at RT = 70 s' reading of this curve."""
+        if not self.points:
+            return None
+        return throughput_at_response_time(
+            self.arrival_rates, self.response_times, self.throughputs, target)
+
+    def saturation_rate(self, target: float = RT_TARGET_CLOCKS,
+                        ) -> Optional[float]:
+        """Arrival rate where mean RT crosses the target."""
+        from repro.metrics.interpolate import interpolate_crossing
+        if not self.points:
+            return None
+        return interpolate_crossing(self.arrival_rates, self.response_times,
+                                    target)
+
+
+def sweep_arrival_rates(scheduler: str, config: ExperimentConfig,
+                        workload_factory: Callable[[], WorkloadFn],
+                        catalog_factory: Callable[[], Catalog],
+                        base_params: SimulationParameters,
+                        ) -> SchedulerCurve:
+    """Run one scheduler across every arrival rate of the config."""
+    if not config.arrival_rates:
+        raise ExperimentError("need at least one arrival rate")
+    curve = SchedulerCurve(scheduler)
+    for rate in config.arrival_rates:
+        params = base_params.with_overrides(
+            scheduler=scheduler, arrival_rate_tps=rate,
+            sim_clocks=config.sim_clocks, seed=config.seed)
+        result = run_simulation(params, workload_factory(),
+                                catalog=catalog_factory())
+        curve.points.append(result.metrics)
+        config.report(
+            f"{scheduler} λ={rate:.2f}: TPS={result.metrics.throughput_tps:.3f} "
+            f"RT={result.metrics.mean_response_time / 1000:.1f}s")
+    return curve
+
+
+def useful_utilization(curve: SchedulerCurve, nodc: SchedulerCurve,
+                       target: float = RT_TARGET_CLOCKS) -> Optional[float]:
+    """The paper's useful-utilization ratio: TPS(scheduler)/TPS(NODC).
+
+    Figure 7's discussion expresses each scheduler's useful resource
+    utilization as its throughput at RT = 70 s over NODC's.
+    """
+    own = curve.throughput_at_rt(target)
+    bound = nodc.throughput_at_rt(target)
+    if own is None or bound is None or bound == 0:
+        return None
+    return own / bound

@@ -1,0 +1,71 @@
+"""Experiment 1 — the blocking case (Figures 6 and 7).
+
+Pattern1 on 16 partitions of 5 objects: the first two steps take S locks
+that later upgrade to X, producing chains of blocking in naive
+schedulers.  Figure 6 plots arrival rate vs mean response time, Figure 7
+arrival rate vs throughput; the paper's readings at mean RT = 70 s:
+
+* ASL, CHAIN and K2 achieve 1.9-2.0x the throughput of C2PL;
+* NODC saturates at λ_S ≈ 1.08 TPS (resources only);
+* useful utilization of the good schedulers ≈ 64 % (0.7 / 1.1 TPS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.config import SimulationParameters
+from repro.experiments.base import (RT_TARGET_CLOCKS, ExperimentConfig,
+                                    SchedulerCurve, sweep_arrival_rates,
+                                    useful_utilization)
+from repro.workloads import pattern1, pattern1_catalog
+
+NUM_PARTITIONS = 16
+
+
+@dataclass
+class Experiment1Result:
+    """Curves per scheduler plus the paper's derived readings."""
+
+    config: ExperimentConfig
+    curves: Dict[str, SchedulerCurve] = field(default_factory=dict)
+
+    def throughput_at_rt(self, scheduler: str,
+                         target: float = RT_TARGET_CLOCKS) -> Optional[float]:
+        return self.curves[scheduler].throughput_at_rt(target)
+
+    def useful_utilization(self, scheduler: str) -> Optional[float]:
+        if "NODC" not in self.curves:
+            return None
+        return useful_utilization(self.curves[scheduler], self.curves["NODC"])
+
+    def saturation_rate_nodc(self) -> Optional[float]:
+        """λ_S: the arrival rate where NODC's mean RT reaches 70 s."""
+        if "NODC" not in self.curves:
+            return None
+        return self.curves["NODC"].saturation_rate()
+
+    def figure6_series(self) -> Dict[str, List[float]]:
+        """Arrival rate -> mean RT (seconds) per scheduler."""
+        return {name: curve.response_times_seconds
+                for name, curve in self.curves.items()}
+
+    def figure7_series(self) -> Dict[str, List[float]]:
+        """Arrival rate -> throughput (TPS) per scheduler."""
+        return {name: curve.throughputs for name, curve in self.curves.items()}
+
+
+def run_experiment1(config: Optional[ExperimentConfig] = None,
+                    ) -> Experiment1Result:
+    """Regenerate Figures 6 and 7."""
+    config = config or ExperimentConfig()
+    base = SimulationParameters(num_partitions=NUM_PARTITIONS)
+    result = Experiment1Result(config)
+    for scheduler in config.schedulers:
+        result.curves[scheduler] = sweep_arrival_rates(
+            scheduler, config,
+            workload_factory=lambda: pattern1(NUM_PARTITIONS),
+            catalog_factory=lambda: pattern1_catalog(NUM_PARTITIONS),
+            base_params=base)
+    return result

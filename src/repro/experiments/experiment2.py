@@ -1,0 +1,69 @@
+"""Experiment 2 — the hot-set case (Figure 8).
+
+Pattern2: a 5-object scan of a read-only partition followed by two
+1-object updates on a hot set of ``NumHots`` partitions (4, 8, 16 or 32).
+Figure 8 plots NumHots vs throughput at mean RT = 70 s.  Paper readings:
+
+* K2 performs best at every NumHots (no WTPG shape constraint);
+* ASL is worst (its WTPG is isolated points: least concurrency);
+* CHAIN suffers at NumHots = 4 and 8 (chain-form rejections);
+* C2PL is beaten by both WTPG schedulers at NumHots = 16 and 32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import SimulationParameters
+from repro.experiments.base import (RT_TARGET_CLOCKS, ExperimentConfig,
+                                    SchedulerCurve, sweep_arrival_rates)
+from repro.workloads import pattern2, pattern2_catalog
+
+DEFAULT_NUM_HOTS = (4, 8, 16, 32)
+NUM_READONLY = 8
+
+
+@dataclass
+class Experiment2Result:
+    """Per (scheduler, NumHots): a sweep curve + the RT=70 s reading."""
+
+    config: ExperimentConfig
+    num_hots_values: Sequence[int]
+    curves: Dict[int, Dict[str, SchedulerCurve]] = field(default_factory=dict)
+
+    def throughput_at_rt(self, scheduler: str, num_hots: int,
+                         target: float = RT_TARGET_CLOCKS) -> Optional[float]:
+        return self.curves[num_hots][scheduler].throughput_at_rt(target)
+
+    def figure8_series(self) -> Dict[str, List[Optional[float]]]:
+        """scheduler -> [TPS@RT70 for each NumHots] (the Figure 8 lines)."""
+        series: Dict[str, List[Optional[float]]] = {}
+        for scheduler in self.config.schedulers:
+            series[scheduler] = [
+                self.throughput_at_rt(scheduler, h)
+                for h in self.num_hots_values]
+        return series
+
+
+def run_experiment2(config: Optional[ExperimentConfig] = None,
+                    num_hots_values: Sequence[int] = DEFAULT_NUM_HOTS,
+                    ) -> Experiment2Result:
+    """Regenerate Figure 8."""
+    config = config or ExperimentConfig()
+    result = Experiment2Result(config, tuple(num_hots_values))
+    for num_hots in num_hots_values:
+        base = SimulationParameters(
+            num_partitions=NUM_READONLY + num_hots)
+        per_sched: Dict[str, SchedulerCurve] = {}
+        for scheduler in config.schedulers:
+            per_sched[scheduler] = sweep_arrival_rates(
+                scheduler, config,
+                workload_factory=lambda h=num_hots: pattern2(
+                    num_hots=h, num_readonly=NUM_READONLY),
+                catalog_factory=lambda h=num_hots: pattern2_catalog(
+                    num_hots=h, num_readonly=NUM_READONLY),
+                base_params=base)
+        result.curves[num_hots] = per_sched
+        config.report(f"NumHots={num_hots} done")
+    return result

@@ -1,0 +1,64 @@
+"""Experiment 3 — longer blocking time on the hot set (Figure 9).
+
+Pattern3 = Pattern2 with a shorter first step (4 objects) and a heavier
+final hot update (2 objects) at NumHots = 8: once a transaction holds its
+hot X locks it works longer before committing, so waiters queue longer.
+Figure 9 plots arrival rate vs mean response time.  Paper readings:
+
+* C2PL collapses to ≈ 0.5 TPS at RT = 70 s — 30 % below its Experiment 2
+  value at the same NumHots (very sensitive to blocking time);
+* CHAIN and K2 keep 1.2-1.8x the throughput of ASL and C2PL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.config import SimulationParameters
+from repro.experiments.base import (RT_TARGET_CLOCKS, ExperimentConfig,
+                                    SchedulerCurve, sweep_arrival_rates)
+from repro.workloads import pattern3, pattern3_catalog
+
+NUM_HOTS = 8
+NUM_READONLY = 8
+
+
+@dataclass
+class Experiment3Result:
+    config: ExperimentConfig
+    curves: Dict[str, SchedulerCurve] = field(default_factory=dict)
+
+    def throughput_at_rt(self, scheduler: str,
+                         target: float = RT_TARGET_CLOCKS) -> Optional[float]:
+        return self.curves[scheduler].throughput_at_rt(target)
+
+    def figure9_series(self) -> Dict[str, List[float]]:
+        """Arrival rate -> mean RT (seconds) per scheduler."""
+        return {name: curve.response_times_seconds
+                for name, curve in self.curves.items()}
+
+    def advantage_over(self, winner: str, loser: str) -> Optional[float]:
+        """TPS ratio at RT = 70 s (the paper's 1.2-1.8x claims)."""
+        a = self.throughput_at_rt(winner)
+        b = self.throughput_at_rt(loser)
+        if a is None or b is None or b == 0:
+            return None
+        return a / b
+
+
+def run_experiment3(config: Optional[ExperimentConfig] = None,
+                    ) -> Experiment3Result:
+    """Regenerate Figure 9."""
+    config = config or ExperimentConfig()
+    base = SimulationParameters(num_partitions=NUM_READONLY + NUM_HOTS)
+    result = Experiment3Result(config)
+    for scheduler in config.schedulers:
+        result.curves[scheduler] = sweep_arrival_rates(
+            scheduler, config,
+            workload_factory=lambda: pattern3(num_hots=NUM_HOTS,
+                                              num_readonly=NUM_READONLY),
+            catalog_factory=lambda: pattern3_catalog(num_hots=NUM_HOTS,
+                                                     num_readonly=NUM_READONLY),
+            base_params=base)
+    return result

@@ -1,0 +1,87 @@
+"""CSV export of experiment results, for external plotting.
+
+Each function writes one tidy (long-form) CSV: one measured point per
+row, columns named after the paper's axes.  Any plotting tool can then
+regenerate the figures; nothing in this module affects measurement.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.experiment1 import Experiment1Result
+from repro.experiments.experiment2 import Experiment2Result
+from repro.experiments.experiment3 import Experiment3Result
+from repro.experiments.experiment4 import Experiment4Result
+
+PathLike = Union[str, Path]
+
+
+def _write(path: PathLike, header, rows) -> int:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        count = 0
+        for row in rows:
+            writer.writerow(row)
+            count += 1
+    return count
+
+
+def export_experiment1(result: Experiment1Result, path: PathLike) -> int:
+    """Figures 6 and 7 as rows of (scheduler, rate, rt_s, tps, ...)."""
+    def rows():
+        for name, curve in result.curves.items():
+            for point in curve.points:
+                yield (name, point.arrival_rate_tps,
+                       point.mean_response_time / 1000.0,
+                       point.throughput_tps, point.dn_utilization,
+                       point.cn_utilization, point.commits)
+
+    return _write(path, ["scheduler", "arrival_rate_tps",
+                         "mean_rt_seconds", "throughput_tps",
+                         "dn_utilization", "cn_utilization", "commits"],
+                  rows())
+
+
+def export_experiment2(result: Experiment2Result, path: PathLike) -> int:
+    """Figure 8 as rows of (scheduler, num_hots, rate, rt_s, tps)."""
+    def rows():
+        for num_hots, per_sched in result.curves.items():
+            for name, curve in per_sched.items():
+                for point in curve.points:
+                    yield (name, num_hots, point.arrival_rate_tps,
+                           point.mean_response_time / 1000.0,
+                           point.throughput_tps)
+
+    return _write(path, ["scheduler", "num_hots", "arrival_rate_tps",
+                         "mean_rt_seconds", "throughput_tps"], rows())
+
+
+def export_experiment3(result: Experiment3Result, path: PathLike) -> int:
+    """Figure 9, same shape as experiment 1's export."""
+    def rows():
+        for name, curve in result.curves.items():
+            for point in curve.points:
+                yield (name, point.arrival_rate_tps,
+                       point.mean_response_time / 1000.0,
+                       point.throughput_tps)
+
+    return _write(path, ["scheduler", "arrival_rate_tps",
+                         "mean_rt_seconds", "throughput_tps"], rows())
+
+
+def export_experiment4(result: Experiment4Result, path: PathLike) -> int:
+    """Figure 10 as rows of (scheduler, sigma, rate, rt_s, tps)."""
+    def rows():
+        for sigma, per_sched in result.curves.items():
+            for name, curve in per_sched.items():
+                for point in curve.points:
+                    yield (name, sigma, point.arrival_rate_tps,
+                           point.mean_response_time / 1000.0,
+                           point.throughput_tps)
+
+    return _write(path, ["scheduler", "sigma", "arrival_rate_tps",
+                         "mean_rt_seconds", "throughput_tps"], rows())

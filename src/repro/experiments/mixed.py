@@ -1,0 +1,104 @@
+"""Extension experiment: mixed BAT / short-transaction service.
+
+Not in the paper's evaluation — it is the study its conclusion calls for
+("in mixed transaction processing, different schedulers are necessary
+for different classes of jobs").  We sweep the BAT share of a mixed
+arrival stream and report per-class mean response times and total
+throughput per scheduler, quantifying how partition-granule BAT locking
+poisons an on-line short-transaction service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import SimulationParameters
+from repro.machine import run_simulation
+from repro.metrics.collector import RunMetrics
+from repro.workloads import (MixedWorkload, pattern1, pattern1_catalog,
+                             short_transactions)
+from repro.workloads.mixed import BAT_LABEL, SHORT_LABEL
+
+DEFAULT_BAT_FRACTIONS = (0.0, 0.05, 0.1, 0.2)
+DEFAULT_SCHEDULERS = ("C2PL", "CHAIN", "K2")
+
+
+@dataclass
+class MixedExperimentResult:
+    """metrics[scheduler][bat_fraction] for the swept mixture."""
+
+    bat_fractions: Sequence[float]
+    schedulers: Sequence[str]
+    metrics: Dict[str, Dict[float, RunMetrics]] = field(default_factory=dict)
+
+    def short_rt(self, scheduler: str, fraction: float) -> Optional[float]:
+        """Mean short-transaction RT (clocks) at one mixture point."""
+        point = self.metrics[scheduler][fraction]
+        return point.response_time_by_label.get(SHORT_LABEL)
+
+    def bat_rt(self, scheduler: str, fraction: float) -> Optional[float]:
+        point = self.metrics[scheduler][fraction]
+        return point.response_time_by_label.get(BAT_LABEL)
+
+    def short_rt_inflation(self, scheduler: str) -> Optional[float]:
+        """Short-txn RT at max BAT share over the BAT-free baseline."""
+        baseline = self.short_rt(scheduler, self.bat_fractions[0])
+        loaded = self.short_rt(scheduler, self.bat_fractions[-1])
+        if not baseline or not loaded:
+            return None
+        return loaded / baseline
+
+    def table_rows(self) -> List[List[object]]:
+        rows: List[List[object]] = []
+        for scheduler in self.schedulers:
+            for fraction in self.bat_fractions:
+                point = self.metrics[scheduler][fraction]
+                short = self.short_rt(scheduler, fraction)
+                bat = self.bat_rt(scheduler, fraction)
+                rows.append([
+                    scheduler, f"{fraction:.0%}",
+                    round(point.throughput_tps, 3),
+                    None if short is None else round(short / 1000, 2),
+                    None if bat is None else round(bat / 1000, 2)])
+        return rows
+
+
+def run_mixed_experiment(
+        bat_fractions: Sequence[float] = DEFAULT_BAT_FRACTIONS,
+        schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
+        arrival_rate_tps: float = 2.0,
+        sim_clocks: float = 400_000.0,
+        seed: int = 1) -> MixedExperimentResult:
+    """Sweep the BAT share of a mixed stream per scheduler."""
+    result = MixedExperimentResult(tuple(bat_fractions), tuple(schedulers))
+    for scheduler in schedulers:
+        per_fraction: Dict[float, RunMetrics] = {}
+        for fraction in bat_fractions:
+            workload = MixedWorkload(pattern1(16), short_transactions(16),
+                                     bat_fraction=fraction)
+            params = SimulationParameters(
+                scheduler=scheduler, arrival_rate_tps=arrival_rate_tps,
+                sim_clocks=sim_clocks, seed=seed, num_partitions=16)
+            per_fraction[fraction] = run_simulation(
+                params, workload, catalog=pattern1_catalog()).metrics
+        result.metrics[scheduler] = per_fraction
+    return result
+
+
+def report_mixed(result: MixedExperimentResult) -> str:
+    """Text report of the mixture sweep."""
+    from repro.analysis import format_table
+    parts = ["Extension experiment: mixed BAT / short-transaction service",
+             ""]
+    parts.append(format_table(
+        ["scheduler", "BAT share", "TPS", "short RT (s)", "BAT RT (s)"],
+        result.table_rows()))
+    parts.append("")
+    for scheduler in result.schedulers:
+        inflation = result.short_rt_inflation(scheduler)
+        if inflation is not None:
+            parts.append(
+                f"  {scheduler}: short-transaction RT inflates "
+                f"{inflation:.1f}x at {result.bat_fractions[-1]:.0%} BATs")
+    return "\n".join(parts)

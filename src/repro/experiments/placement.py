@@ -1,0 +1,103 @@
+"""Extension experiment: file placement (conclusion 4 of the paper).
+
+Range partitioning minimises message overhead but bounds a BAT's
+parallelism to one node per step — so data contention caps useful
+utilization well below resources (≈64 % in Experiment 1).  The paper's
+conclusion: ">90 % useful utilization needs intra-transaction
+parallelism", i.e. declustering files over all nodes.  This experiment
+measures both placements under the same workload and schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.config import SimulationParameters
+from repro.machine import Catalog, run_simulation
+from repro.metrics.collector import RunMetrics
+from repro.workloads import pattern1
+
+PLACEMENTS = ("range-partitioned", "declustered")
+DEFAULT_SCHEDULERS = ("K2", "C2PL", "NODC")
+
+
+@dataclass
+class PlacementExperimentResult:
+    """metrics[scheduler][placement] at one arrival rate."""
+
+    arrival_rate_tps: float
+    schedulers: Sequence[str]
+    metrics: Dict[str, Dict[str, RunMetrics]] = field(default_factory=dict)
+
+    def speedup(self, scheduler: str) -> float:
+        """Declustered over range-partitioned throughput."""
+        pair = self.metrics[scheduler]
+        return (pair["declustered"].throughput_tps
+                / pair["range-partitioned"].throughput_tps)
+
+    def useful_utilization(self, scheduler: str, placement: str) -> float:
+        """Scheduler TPS over NODC TPS under the same placement."""
+        if "NODC" not in self.metrics:
+            raise KeyError("NODC must be among the measured schedulers")
+        bound = self.metrics["NODC"][placement].throughput_tps
+        own = self.metrics[scheduler][placement].throughput_tps
+        return own / bound if bound else 0.0
+
+    def table_rows(self) -> List[List[object]]:
+        rows: List[List[object]] = []
+        for scheduler in self.schedulers:
+            for placement in PLACEMENTS:
+                point = self.metrics[scheduler][placement]
+                rows.append([scheduler, placement,
+                             round(point.throughput_tps, 3),
+                             round(point.mean_response_time / 1000, 1),
+                             round(point.dn_utilization, 2)])
+        return rows
+
+
+def run_placement_experiment(
+        schedulers: Sequence[str] = DEFAULT_SCHEDULERS,
+        arrival_rate_tps: float = 0.9,
+        sim_clocks: float = 400_000.0,
+        num_partitions: int = 16,
+        seed: int = 1) -> PlacementExperimentResult:
+    """Measure both placements for every scheduler."""
+    result = PlacementExperimentResult(arrival_rate_tps, tuple(schedulers))
+    for scheduler in schedulers:
+        per_placement: Dict[str, RunMetrics] = {}
+        for placement in PLACEMENTS:
+            catalog = Catalog.uniform(
+                num_partitions, 5.0, 8,
+                declustered=(placement == "declustered"))
+            params = SimulationParameters(
+                scheduler=scheduler, arrival_rate_tps=arrival_rate_tps,
+                sim_clocks=sim_clocks, seed=seed,
+                num_partitions=num_partitions)
+            per_placement[placement] = run_simulation(
+                params, pattern1(num_partitions), catalog=catalog).metrics
+        result.metrics[scheduler] = per_placement
+    return result
+
+
+def report_placement(result: PlacementExperimentResult) -> str:
+    from repro.analysis import format_table
+    parts = ["Extension experiment: file placement "
+             f"(Pattern1, lambda={result.arrival_rate_tps:g})", ""]
+    parts.append(format_table(
+        ["scheduler", "placement", "TPS", "mean RT (s)", "DN util"],
+        result.table_rows()))
+    parts.append("")
+    for scheduler in result.schedulers:
+        if scheduler == "NODC":
+            continue
+        speedup = result.speedup(scheduler)
+        line = f"  {scheduler}: declustering x{speedup:.2f} throughput"
+        if "NODC" in result.schedulers:
+            ranged = result.useful_utilization(scheduler,
+                                               "range-partitioned")
+            spread = result.useful_utilization(scheduler, "declustered")
+            line += (f"; useful utilization {ranged:.0%} -> {spread:.0%} "
+                     "(paper: >90 % requires intra-txn parallelism)")
+        parts.append(line)
+    return "\n".join(parts)

@@ -1,0 +1,115 @@
+"""Render experiment results as the paper's figures (text form)."""
+
+from __future__ import annotations
+
+from repro.analysis import ascii_chart, format_series_table
+from repro.experiments.experiment1 import Experiment1Result
+from repro.experiments.experiment2 import Experiment2Result
+from repro.experiments.experiment3 import Experiment3Result
+from repro.experiments.experiment4 import Experiment4Result
+
+
+def _rt_chart(curves, title: str) -> str:
+    series = {
+        name: list(zip(curve.arrival_rates, curve.response_times_seconds))
+        for name, curve in curves.items()}
+    chart = ascii_chart(series, x_label="arrival rate (TPS)",
+                        y_label="mean RT (s)", y_max=200.0)
+    return f"{title}\n{chart}"
+
+
+def report_experiment1(result: Experiment1Result) -> str:
+    """Figures 6 and 7 plus the derived readings."""
+    rates = next(iter(result.curves.values())).arrival_rates
+    parts = ["Experiment 1 (Pattern1, NumParts=16)", ""]
+    parts.append("Figure 6: arrival rate vs mean response time (seconds)")
+    parts.append(format_series_table(
+        "lambda", rates,
+        {name: curve.response_times_seconds
+         for name, curve in result.curves.items()}))
+    parts.append("")
+    parts.append(_rt_chart(result.curves, "Figure 6 (chart)"))
+    parts.append("")
+    parts.append("Figure 7: arrival rate vs throughput (TPS)")
+    parts.append(format_series_table(
+        "lambda", rates,
+        {name: curve.throughputs for name, curve in result.curves.items()}))
+    parts.append("")
+    parts.append("Readings at mean RT = 70 s:")
+    for name in result.curves:
+        tps = result.throughput_at_rt(name)
+        util = result.useful_utilization(name)
+        util_text = f", useful utilization {util:.0%}" if util else ""
+        parts.append(f"  {name:10s} TPS@RT70 = "
+                     f"{tps:.3f}{util_text}" if tps is not None
+                     else f"  {name:10s} TPS@RT70 = n/a")
+    saturation = result.saturation_rate_nodc()
+    if saturation is not None:
+        parts.append(f"  NODC saturation rate λ_S = {saturation:.2f} TPS "
+                     "(paper: 1.08)")
+    return "\n".join(parts)
+
+
+def report_experiment2(result: Experiment2Result) -> str:
+    """Figure 8, plus the underlying sweep per hot-set size."""
+    parts = ["Experiment 2 (Pattern2, hot set)", ""]
+    parts.append("Figure 8: NumHots vs throughput at RT = 70 s (TPS)")
+    parts.append(format_series_table(
+        "NumHots", list(result.num_hots_values), result.figure8_series()))
+    for num_hots in result.num_hots_values:
+        per_sched = result.curves.get(num_hots, {})
+        if not per_sched:
+            continue
+        rates = next(iter(per_sched.values())).arrival_rates
+        parts.append("")
+        parts.append(f"NumHots = {num_hots}: arrival rate vs TPS / RT (s)")
+        parts.append(format_series_table(
+            "lambda", rates,
+            {name: curve.throughputs for name, curve in per_sched.items()}))
+        parts.append(format_series_table(
+            "lambda", rates,
+            {name: curve.response_times_seconds
+             for name, curve in per_sched.items()}))
+    return "\n".join(parts)
+
+
+def report_experiment3(result: Experiment3Result) -> str:
+    """Figure 9 plus the advantage ratios."""
+    rates = next(iter(result.curves.values())).arrival_rates
+    parts = ["Experiment 3 (Pattern3, NumHots=8)", ""]
+    parts.append("Figure 9: arrival rate vs mean response time (seconds)")
+    parts.append(format_series_table(
+        "lambda", rates, result.figure9_series()))
+    parts.append("")
+    parts.append(_rt_chart(result.curves, "Figure 9 (chart)"))
+    parts.append("")
+    parts.append("Readings at mean RT = 70 s:")
+    for name in result.curves:
+        tps = result.throughput_at_rt(name)
+        parts.append(f"  {name:10s} TPS@RT70 = "
+                     + (f"{tps:.3f}" if tps is not None else "n/a"))
+    for winner in ("CHAIN", "K2"):
+        for loser in ("ASL", "C2PL"):
+            if winner in result.curves and loser in result.curves:
+                ratio = result.advantage_over(winner, loser)
+                if ratio is not None:
+                    parts.append(f"  {winner} / {loser} = {ratio:.2f}x "
+                                 "(paper: 1.2-1.8x)")
+    return "\n".join(parts)
+
+
+def report_experiment4(result: Experiment4Result) -> str:
+    """Figure 10 plus the sensitivity readings."""
+    parts = ["Experiment 4 (Pattern1 with erroneous declarations)", ""]
+    parts.append("Figure 10: error ratio sigma vs throughput at RT = 70 s")
+    parts.append(format_series_table(
+        "sigma", list(result.sigmas), result.figure10_series()))
+    parts.append("")
+    for scheduler, paper_loss in (("CHAIN", 0.046), ("K2", 0.138)):
+        if scheduler in result.config.schedulers:
+            loss = result.degradation(scheduler, max(result.sigmas))
+            if loss is not None:
+                parts.append(
+                    f"  {scheduler} loss at sigma={max(result.sigmas):g}: "
+                    f"{loss:.1%} (paper at sigma=1: {paper_loss:.1%})")
+    return "\n".join(parts)

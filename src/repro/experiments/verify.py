@@ -1,0 +1,155 @@
+"""One-shot verification of the paper's qualitative claims.
+
+``python -m repro verify`` runs a scaled battery of simulations and
+checks each headline claim of the paper (plus the extensions' claims)
+against the measured orderings.  It is the same logic as the shape
+regression tests, packaged for humans: a PASS/FAIL table with the
+numbers that justify each verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.config import SimulationParameters
+from repro.machine import Catalog, run_simulation
+from repro.workloads import (pattern1, pattern1_catalog, pattern2,
+                             pattern2_catalog, pattern3, pattern3_catalog)
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One verified paper claim."""
+
+    experiment: str
+    claim: str
+    passed: bool
+    evidence: str
+
+
+def _tps(scheduler: str, workload, catalog, rate: float,
+         num_partitions: int, sim_clocks: float, seed: int,
+         declustered: bool = False) -> float:
+    if declustered:
+        catalog = Catalog.uniform(num_partitions, 5.0, 8, declustered=True)
+    params = SimulationParameters(scheduler=scheduler,
+                                  arrival_rate_tps=rate,
+                                  sim_clocks=sim_clocks, seed=seed,
+                                  num_partitions=num_partitions)
+    return run_simulation(params, workload, catalog=catalog
+                          ).metrics.throughput_tps
+
+
+def verify_paper_claims(sim_clocks: float = 200_000.0,
+                        seed: int = 1,
+                        progress: Optional[Callable[[str], None]] = None,
+                        ) -> List[ClaimCheck]:
+    """Run the battery; returns one :class:`ClaimCheck` per claim."""
+    checks: List[ClaimCheck] = []
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    # -- Experiment 1: the blocking case -----------------------------------
+    note("experiment 1 battery")
+    exp1: Dict[str, float] = {
+        name: _tps(name, pattern1(16), pattern1_catalog(), 0.6, 16,
+                   sim_clocks, seed)
+        for name in ("ASL", "C2PL", "CHAIN", "K2", "NODC")}
+    ratio = min(exp1[n] / exp1["C2PL"] for n in ("ASL", "CHAIN", "K2"))
+    checks.append(ClaimCheck(
+        "exp1", "ASL/CHAIN/K2 far above C2PL under blocking (paper ~2x)",
+        ratio > 1.5,
+        f"min ratio {ratio:.2f}x (" + ", ".join(
+            f"{n}={exp1[n]:.3f}" for n in exp1) + ")"))
+    tracked = min(exp1["CHAIN"], exp1["K2"]) / exp1["ASL"]
+    checks.append(ClaimCheck(
+        "exp1", "CHAIN and K2 avoid blocking chains as well as ASL",
+        tracked > 0.8, f"CHAIN,K2 at {tracked:.0%} of ASL"))
+
+    # -- Experiment 2: the hot set -------------------------------------------
+    note("experiment 2 battery")
+    small = {name: _tps(name, pattern2(num_hots=4),
+                        pattern2_catalog(num_hots=4), 0.9, 12,
+                        sim_clocks, seed)
+             for name in ("ASL", "C2PL", "CHAIN", "K2")}
+    checks.append(ClaimCheck(
+        "exp2", "K2 best on a small hot set",
+        small["K2"] == max(small.values()),
+        ", ".join(f"{n}={v:.3f}" for n, v in small.items())))
+    checks.append(ClaimCheck(
+        "exp2", "ASL worst on a small hot set",
+        small["ASL"] == min(small.values()),
+        f"ASL={small['ASL']:.3f}"))
+    large = {name: _tps(name, pattern2(num_hots=16),
+                        pattern2_catalog(num_hots=16), 0.9, 24,
+                        sim_clocks, seed)
+             for name in ("C2PL", "CHAIN", "K2")}
+    checks.append(ClaimCheck(
+        "exp2", "both WTPG schedulers beat C2PL at NumHots=16",
+        large["CHAIN"] > large["C2PL"] and large["K2"] > large["C2PL"],
+        ", ".join(f"{n}={v:.3f}" for n, v in large.items())))
+
+    # -- Experiment 3: blocking-time sensitivity ---------------------------------
+    note("experiment 3 battery")
+    c2pl_p2 = _tps("C2PL", pattern2(num_hots=8), pattern2_catalog(num_hots=8),
+                   0.9, 16, sim_clocks, seed)
+    c2pl_p3 = _tps("C2PL", pattern3(num_hots=8), pattern3_catalog(num_hots=8),
+                   0.9, 16, sim_clocks, seed)
+    checks.append(ClaimCheck(
+        "exp3", "C2PL degrades when blocking time grows (Pattern2 -> 3)",
+        c2pl_p3 < c2pl_p2,
+        f"Pattern2 {c2pl_p2:.3f} -> Pattern3 {c2pl_p3:.3f} TPS"))
+
+    # -- Experiment 4: erroneous declarations ---------------------------------------
+    note("experiment 4 battery")
+    robust = True
+    evidence = []
+    for name in ("CHAIN", "K2"):
+        exact = _tps(name, pattern1(16), pattern1_catalog(), 0.6, 16,
+                     sim_clocks, seed)
+        noisy = _tps(name, pattern1(16, error_sigma=1.0),
+                     pattern1_catalog(), 0.6, 16, sim_clocks, seed)
+        loss = 1 - noisy / exact
+        evidence.append(f"{name} loses {loss:+.1%}")
+        robust = robust and loss < 0.35 and noisy > 1.3 * exp1["C2PL"]
+    checks.append(ClaimCheck(
+        "exp4", "WTPG schedulers survive sigma=1 cost errors",
+        robust, ", ".join(evidence)))
+
+    # -- Conclusion 4: intra-transaction parallelism ------------------------------------
+    note("declustering battery")
+    ranged = _tps("K2", pattern1(16), pattern1_catalog(), 0.9, 16,
+                  sim_clocks, seed)
+    spread = _tps("K2", pattern1(16), None, 0.9, 16, sim_clocks, seed,
+                  declustered=True)
+    checks.append(ClaimCheck(
+        "conclusion-4", "declustering lifts BAT throughput (intra-txn "
+        "parallelism)", spread > ranged,
+        f"range-partitioned {ranged:.3f} vs declustered {spread:.3f} TPS"))
+
+    # -- Premise: aborting BATs is ruinous --------------------------------------------
+    note("abort-cost battery")
+    twopl = _tps("2PL", pattern1(16), pattern1_catalog(), 0.6, 16,
+                 sim_clocks, seed)
+    checks.append(ClaimCheck(
+        "premise", "classic 2PL-with-restarts collapses on BATs",
+        twopl < 0.5 * exp1["C2PL"] or twopl < 0.25 * exp1["K2"],
+        f"2PL {twopl:.3f} vs C2PL {exp1['C2PL']:.3f} vs K2 "
+        f"{exp1['K2']:.3f} TPS"))
+
+    return checks
+
+
+def report_verification(checks: List[ClaimCheck]) -> str:
+    """Render the PASS/FAIL table."""
+    from repro.analysis import format_table
+    rows = [[c.experiment, "PASS" if c.passed else "FAIL", c.claim,
+             c.evidence] for c in checks]
+    table = format_table(["exp", "verdict", "claim", "evidence"], rows)
+    failed = sum(1 for c in checks if not c.passed)
+    summary = (f"\n{len(checks) - failed}/{len(checks)} paper claims "
+               "verified" + (f"; {failed} FAILED" if failed else ""))
+    return table + summary

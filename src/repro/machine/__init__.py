@@ -1,0 +1,26 @@
+"""The simulated shared-nothing database machine (Section 4.1, Figure 5).
+
+One centralized control node (CN) owns the lock table / WTPG and
+coordinates two-phase commitment; ``NumNodes`` data-processing nodes (DN)
+execute bulk work one *object* at a time in round-robin among resident
+transactions, sending a weight-adjustment message to the CN after every
+object.  Partitions are placed at ``node = partition_id mod NumNodes``
+(range partitioning of each relation across all nodes), which is exactly
+the placement that makes a single BAT's load unbalanced and concurrent
+BATs necessary.
+"""
+
+from repro.machine.partition import Catalog, Partition
+from repro.machine.data_node import DataNode
+from repro.machine.control_node import ControlNode
+from repro.machine.cluster import Cluster, SimulationResult, run_simulation
+
+__all__ = [
+    "Catalog",
+    "Cluster",
+    "ControlNode",
+    "DataNode",
+    "Partition",
+    "SimulationResult",
+    "run_simulation",
+]

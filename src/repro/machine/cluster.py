@@ -1,0 +1,142 @@
+"""Cluster wiring: one control node, N data nodes, Poisson arrivals.
+
+:func:`run_simulation` is the main entry point of the machine layer: give
+it parameters and a workload generator, get back a
+:class:`SimulationResult` with the paper's metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.config import SimulationParameters
+from repro.core.history import History
+from repro.core.schedulers import make_scheduler
+from repro.core.schedulers.base import Scheduler
+from repro.core.transaction import TransactionRuntime, TransactionSpec
+from repro.engine import Environment, RandomStreams
+from repro.machine.control_node import ControlNode
+from repro.machine.data_node import DataNode
+from repro.machine.partition import Catalog
+from repro.machine.trace import Tracer
+from repro.metrics.collector import MetricsCollector, RunMetrics
+
+# A workload generator maps (tid, RandomStreams) to the next transaction.
+WorkloadFn = Callable[[int, RandomStreams], TransactionSpec]
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced: metrics plus optional history/trace."""
+
+    metrics: RunMetrics
+    history: Optional[History]
+    scheduler: Scheduler
+    tracer: Optional[Tracer] = None
+
+    @property
+    def throughput_tps(self) -> float:
+        return self.metrics.throughput_tps
+
+    @property
+    def mean_response_time(self) -> float:
+        return self.metrics.mean_response_time
+
+    def validate(self) -> None:
+        """Run every applicable correctness check on this run.
+
+        * lock exclusion + conflict serializability, when a history was
+          recorded (note: NODC legitimately fails this — it is the
+          no-concurrency-control upper bound);
+        * trace lifecycle well-formedness, when a tracer was attached;
+        * lock-table/WTPG consistency of the scheduler's final state.
+        """
+        if self.history is not None:
+            self.history.check_lock_exclusion()
+            self.history.check_serializable()
+        if self.tracer is not None:
+            from repro.machine.trace import validate_trace
+            validate_trace(self.tracer)
+        table = getattr(self.scheduler, "table", None)
+        wtpg = getattr(self.scheduler, "wtpg", None)
+        if table is not None and wtpg is not None:
+            from repro.core.invariants import check_consistency
+            check_consistency(table, wtpg)
+
+
+class Cluster:
+    """The assembled machine, ready to run one simulation."""
+
+    def __init__(self, params: SimulationParameters, workload: WorkloadFn,
+                 catalog: Optional[Catalog] = None,
+                 scheduler: Optional[Scheduler] = None,
+                 record_history: bool = False,
+                 tracer: Optional["Tracer"] = None) -> None:
+        self.params = params
+        self.workload = workload
+        self.env = Environment()
+        self.streams = RandomStreams(params.seed)
+        self.catalog = catalog or Catalog.uniform(
+            params.num_partitions, size_objects=5.0,
+            num_nodes=params.num_nodes)
+        self.scheduler = scheduler or make_scheduler(
+            params.scheduler, **params.scheduler_kwargs())
+        self.metrics = MetricsCollector(warmup_clocks=params.warmup_clocks)
+        self.history = History() if record_history else None
+        self.data_nodes = [
+            DataNode(self.env, node_id, params.obj_time,
+                     on_objects=self._on_objects)
+            for node_id in range(params.num_nodes)]
+        self.tracer = tracer
+        self.control_node = ControlNode(
+            self.env, params, self.scheduler, self.catalog, self.data_nodes,
+            self.metrics, history=self.history, tracer=tracer)
+        self._spawned = 0
+
+    def _on_objects(self, txn: TransactionRuntime, objects: float) -> None:
+        """A data node finished ``objects`` of a step: weight-adjust."""
+        self.scheduler.object_processed(txn, objects)
+
+    def _arrival_process(self):
+        """Poisson arrivals; each arrival spawns a transaction process."""
+        env = self.env
+        mean = self.params.mean_interarrival_clocks
+        while True:
+            yield env.timeout(self.streams.exponential("arrivals", mean))
+            self._spawned += 1
+            spec = self.workload(self._spawned, self.streams)
+            txn = TransactionRuntime(spec, arrival_time=env.now)
+            self.metrics.record_arrival(env.now)
+            env.process(self.control_node.transaction_process(txn))
+
+    def run(self) -> SimulationResult:
+        """Run for ``sim_clocks`` and summarise."""
+        self.env.process(self._arrival_process())
+        self.env.run(until=self.params.sim_clocks)
+        elapsed = self.params.sim_clocks
+        dn_utilization = (sum(dn.utilization(elapsed)
+                              for dn in self.data_nodes)
+                          / len(self.data_nodes))
+        metrics = self.metrics.summarise(
+            scheduler=self.scheduler.name,
+            arrival_rate_tps=self.params.arrival_rate_tps,
+            sim_clocks=elapsed,
+            dn_utilization=dn_utilization,
+            cn_utilization=self.control_node.utilization(elapsed),
+            weight_messages=sum(dn.messages_sent for dn in self.data_nodes),
+            scheduler_stats=self.scheduler.stats.as_dict(),
+        )
+        return SimulationResult(metrics=metrics, history=self.history,
+                                scheduler=self.scheduler,
+                                tracer=self.tracer)
+
+
+def run_simulation(params: SimulationParameters, workload: WorkloadFn,
+                   catalog: Optional[Catalog] = None,
+                   scheduler: Optional[Scheduler] = None,
+                   record_history: bool = False) -> SimulationResult:
+    """Build a cluster and run one simulation — the one-call entry point."""
+    cluster = Cluster(params, workload, catalog=catalog, scheduler=scheduler,
+                      record_history=record_history)
+    return cluster.run()

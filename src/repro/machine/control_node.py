@@ -1,0 +1,189 @@
+"""The centralized control node (CN).
+
+The CN owns the scheduler (lock table + WTPG) and coordinates every
+transaction's lifecycle as the two-phase-commit coordinator:
+
+* start: ``startuptime`` of CPU, then the scheduler's admission test —
+  a rejected transaction (ASL preclaim failure, chain-form or K-conflict
+  violation) is re-submitted after the fixed retry delay;
+* per step: a lock request costed by the scheduler (``ddtime`` /
+  ``chaintime`` / ``kwtpgtime``); BLOCK/DELAY responses are re-submitted
+  after the retry delay; a granted step ships the transaction to the data
+  node holding the partition;
+* commit: ``committime`` of CPU, locks released, WTPG node dropped.
+
+The CN's CPU is a single FIFO server, so heavy control traffic queues —
+the paper deliberately overstates control cost relative to ``ObjTime`` to
+show the schedulers survive it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import SimulationParameters
+from repro.core.history import History
+from repro.core.schedulers.base import Decision, Scheduler
+from repro.core.transaction import LockMode, TransactionRuntime
+from repro.engine import Environment, Resource
+from repro.machine.data_node import DataNode
+from repro.machine.partition import Catalog
+from repro.machine.trace import EventType, Tracer
+from repro.metrics.collector import MetricsCollector
+
+
+class ControlNode:
+    """CN: admission, locking, dispatch and commitment of every BAT."""
+
+    def __init__(self, env: Environment, params: SimulationParameters,
+                 scheduler: Scheduler, catalog: Catalog,
+                 data_nodes: List[DataNode], metrics: MetricsCollector,
+                 history: Optional[History] = None,
+                 tracer: Optional[Tracer] = None) -> None:
+        self.env = env
+        self.params = params
+        self.scheduler = scheduler
+        self.catalog = catalog
+        self.data_nodes = data_nodes
+        self.metrics = metrics
+        self.history = history
+        self.tracer = tracer
+        self.cpu = Resource(env, capacity=1)
+        self.active_transactions = 0
+        # Grant bookkeeping for history validation: tid -> list of
+        # (partition, mode, grant time).
+        self._grants: Dict[int, List[Tuple[int, LockMode, float]]] = {}
+
+    # -- CPU ------------------------------------------------------------------
+
+    def _cpu_work(self, cost: float):
+        """Occupy the CN CPU for ``cost`` clocks (FIFO queueing)."""
+        if cost <= 0:
+            return
+        request = self.cpu.request()
+        yield request
+        try:
+            yield self.env.timeout(cost)
+        finally:
+            self.cpu.release(request)
+
+    # -- transaction lifecycle ----------------------------------------------------
+
+    def transaction_process(self, txn: TransactionRuntime):
+        """The full life of one BAT; run as an engine process.
+
+        The outer loop exists for schedulers that abort deadlock victims
+        (2PL): an aborted transaction restarts from admission with all
+        its previous work wasted.  The paper's own schedulers never take
+        that branch.
+        """
+        env = self.env
+        params = self.params
+        self._trace(EventType.ARRIVAL, txn)
+
+        while True:  # one iteration per execution attempt
+            # Admission loop: Step 0 aborts are re-submitted after a fixed
+            # delay.  Each attempt costs only the scheduler's admission
+            # test; startuptime (the 2PC start coordination) is spent once
+            # when the transaction actually starts.
+            while True:
+                response = self.scheduler.admit(txn, env.now)
+                yield from self._cpu_work(response.cpu_cost)
+                if response.admitted:
+                    break
+                self._trace(EventType.ADMISSION_REJECTED, txn,
+                            reason=response.reason)
+                txn.reset_for_retry()
+                yield env.timeout(params.retry_delay)
+            yield from self._cpu_work(params.startup_time)
+            txn.start_time = env.now
+            self.active_transactions += 1
+            self._trace(EventType.ADMITTED, txn, attempts=txn.attempts + 1)
+            if self.history is not None:
+                self._grants[txn.tid] = []
+
+            aborted = False
+            while not txn.finished_all_steps:
+                while True:
+                    response = self.scheduler.request_lock(txn, env.now)
+                    yield from self._cpu_work(response.cpu_cost)
+                    if (response.granted
+                            or response.decision is Decision.ABORT):
+                        break
+                    kind = (EventType.LOCK_BLOCKED
+                            if response.decision is Decision.BLOCK
+                            else EventType.LOCK_DELAYED)
+                    self._trace(kind, txn, step=txn.current_step,
+                                reason=response.reason)
+                    self.metrics.record_lock_retry()
+                    yield env.timeout(params.retry_delay)
+                if response.decision is Decision.ABORT:
+                    aborted = True
+                    break
+                step = txn.step()
+                self._trace(EventType.LOCK_GRANTED, txn,
+                            step=txn.current_step,
+                            partition=step.partition, mode=str(step.mode))
+                if self.history is not None:
+                    self._grants[txn.tid].append(
+                        (step.partition, step.mode, env.now))
+                partition = self.catalog.partition(step.partition)
+                if partition.declustered and len(self.data_nodes) > 1:
+                    # Intra-transaction parallelism: the bulk operation
+                    # runs on every node at once, in equal shares.
+                    share = step.cost / len(self.data_nodes)
+                    self._trace(EventType.STEP_DISPATCHED, txn,
+                                step=txn.current_step, node=-1,
+                                objects=step.cost)
+                    done = [node.submit(txn, share)
+                            for node in self.data_nodes]
+                    yield self.env.all_of(done)
+                else:
+                    node = self.data_nodes[partition.node]
+                    self._trace(EventType.STEP_DISPATCHED, txn,
+                                step=txn.current_step, node=node.node_id,
+                                objects=step.cost)
+                    yield node.submit(txn, step.cost)
+                self._trace(EventType.STEP_COMPLETED, txn,
+                            step=txn.current_step)
+                txn.advance_step()
+
+            if aborted:
+                # Deadlock victim: every object processed so far is
+                # wasted — exactly why the paper's schedulers never abort
+                # a BAT.  Locks were released by the scheduler.
+                self.scheduler.abort_transaction(txn, env.now)
+                self.metrics.record_abort(txn)
+                self._trace(EventType.ABORTED, txn, step=txn.current_step,
+                            wasted_objects=txn.objects_done)
+                self.active_transactions -= 1
+                if self.history is not None:
+                    self._grants.pop(txn.tid, None)
+                txn.reset_for_retry()
+                yield env.timeout(params.retry_delay)
+                continue
+
+            # Commitment (two-phase commit coordination on the CN).
+            yield from self._cpu_work(params.commit_time)
+            self.scheduler.commit(txn, env.now)
+            txn.commit_time = env.now
+            self.active_transactions -= 1
+            if self.history is not None:
+                for partition, mode, granted_at in self._grants.pop(txn.tid):
+                    self.history.record(txn.tid, partition, mode,
+                                        granted_at, env.now)
+            self._trace(EventType.COMMITTED, txn,
+                        response_time=txn.response_time())
+            self.metrics.record_commit(txn, env.now)
+            return
+
+    def _trace(self, kind: EventType, txn: TransactionRuntime,
+               **detail) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self.env.now, kind, txn.tid, **detail)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` during which the CN CPU was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return self.cpu.busy_time() / elapsed

@@ -1,0 +1,171 @@
+"""Structured event tracing for simulation runs.
+
+A :class:`Tracer` records every lifecycle event of every transaction
+(arrival, admission attempts, lock requests with their outcomes, step
+dispatch/completion, commitment) with its simulation timestamp.  Traces
+serve three purposes:
+
+* debugging — ``tracer.timeline(tid)`` shows one transaction's life;
+* validation — :func:`validate_trace` checks lifecycle well-formedness
+  (used by the integration tests);
+* persistence — JSON-lines export/import for offline analysis.
+
+Tracing is off by default (it allocates one record per event); enable it
+with ``Cluster(..., tracer=Tracer())``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.errors import SimulationError
+
+
+class EventType(enum.Enum):
+    """Every kind of lifecycle event the machine can emit."""
+
+    ARRIVAL = "arrival"
+    ADMISSION_REJECTED = "admission_rejected"
+    ADMITTED = "admitted"
+    LOCK_GRANTED = "lock_granted"
+    LOCK_BLOCKED = "lock_blocked"
+    LOCK_DELAYED = "lock_delayed"
+    STEP_DISPATCHED = "step_dispatched"
+    STEP_COMPLETED = "step_completed"
+    ABORTED = "aborted"            # deadlock victim restart (2PL only)
+    COMMITTED = "committed"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped lifecycle event of one transaction."""
+
+    time: float
+    kind: EventType
+    tid: int
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps({"time": self.time, "kind": self.kind.value,
+                           "tid": self.tid, "detail": self.detail},
+                          sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        raw = json.loads(line)
+        return cls(time=float(raw["time"]), kind=EventType(raw["kind"]),
+                   tid=int(raw["tid"]), detail=dict(raw.get("detail", {})))
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records during a run."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def emit(self, time: float, kind: EventType, tid: int,
+             **detail: Any) -> None:
+        self.events.append(TraceEvent(time, kind, tid, dict(detail)))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- queries ---------------------------------------------------------------
+
+    def timeline(self, tid: int) -> List[TraceEvent]:
+        """All events of one transaction, in time order."""
+        return [e for e in self.events if e.tid == tid]
+
+    def of_kind(self, kind: EventType) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    def count(self, kind: EventType) -> int:
+        return sum(1 for e in self.events if e.kind is kind)
+
+    def transactions(self) -> List[int]:
+        return sorted({e.tid for e in self.events})
+
+    def summary(self) -> Dict[str, int]:
+        """Event counts per kind (stable key order)."""
+        return {kind.value: self.count(kind) for kind in EventType}
+
+    # -- persistence --------------------------------------------------------------
+
+    def dump_jsonl(self, path) -> None:
+        """Write the trace as JSON lines."""
+        with open(path, "w") as handle:
+            for event in self.events:
+                handle.write(event.to_json() + "\n")
+
+    @classmethod
+    def load_jsonl(cls, path) -> "Tracer":
+        tracer = cls()
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    tracer.events.append(TraceEvent.from_json(line))
+        return tracer
+
+
+def validate_trace(tracer: Tracer) -> None:
+    """Check lifecycle well-formedness of every traced transaction.
+
+    Raises :class:`SimulationError` on: time going backwards, events
+    before arrival or after commit, commit without admission, or a
+    granted step count that does not match dispatch/completion counts.
+    """
+    for tid in tracer.transactions():
+        events = tracer.timeline(tid)
+        last_time = float("-inf")
+        seen_arrival = seen_admit = seen_commit = False
+        grants = dispatches = completions = 0
+        for event in events:
+            if event.time < last_time:
+                raise SimulationError(
+                    f"T{tid}: time went backwards at {event.kind.value}")
+            last_time = event.time
+            if seen_commit:
+                raise SimulationError(
+                    f"T{tid}: event {event.kind.value} after commit")
+            if event.kind is EventType.ARRIVAL:
+                if seen_arrival:
+                    raise SimulationError(f"T{tid}: duplicate arrival")
+                seen_arrival = True
+                continue
+            if not seen_arrival:
+                raise SimulationError(
+                    f"T{tid}: {event.kind.value} before arrival")
+            if event.kind is EventType.ADMITTED:
+                seen_admit = True
+            elif event.kind is EventType.ABORTED:
+                if not seen_admit:
+                    raise SimulationError(
+                        f"T{tid}: abort before admission")
+                # A restart begins: the next attempt must re-admit.
+                seen_admit = False
+            elif event.kind is EventType.COMMITTED:
+                if not seen_admit:
+                    raise SimulationError(f"T{tid}: commit without admission")
+                seen_commit = True
+            elif event.kind in (EventType.LOCK_GRANTED,):
+                if not seen_admit:
+                    raise SimulationError(
+                        f"T{tid}: lock grant before admission")
+                grants += 1
+            elif event.kind is EventType.STEP_DISPATCHED:
+                dispatches += 1
+            elif event.kind is EventType.STEP_COMPLETED:
+                completions += 1
+        if seen_commit:
+            if dispatches != completions:
+                raise SimulationError(
+                    f"T{tid}: {dispatches} dispatches vs "
+                    f"{completions} completions")
+            if grants < dispatches:
+                raise SimulationError(
+                    f"T{tid}: {dispatches} dispatches with only "
+                    f"{grants} grants")

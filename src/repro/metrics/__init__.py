@@ -1,0 +1,27 @@
+"""Performance metrics: collection, summary statistics, curve utilities.
+
+The paper's two metrics are mean response time RT (creation to completion)
+and throughput TPS (committed transactions per second); Experiments 2 and
+4 additionally report *throughput at RT = 70 s*, obtained here by sweeping
+the arrival rate and interpolating both curves at the RT crossing (see
+:mod:`repro.metrics.interpolate`).
+"""
+
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.metrics.interpolate import (interpolate_crossing,
+                                       throughput_at_response_time)
+from repro.metrics.replication import (ReplicatedMetric, ReplicationResult,
+                                       replicate)
+from repro.metrics.stats import batch_means, mean_confidence_interval
+
+__all__ = [
+    "MetricsCollector",
+    "ReplicatedMetric",
+    "ReplicationResult",
+    "RunMetrics",
+    "batch_means",
+    "interpolate_crossing",
+    "mean_confidence_interval",
+    "replicate",
+    "throughput_at_response_time",
+]

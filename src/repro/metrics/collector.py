@@ -1,0 +1,128 @@
+"""Per-run metric collection and the summary it produces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.transaction import TransactionRuntime
+from repro.errors import ExperimentError
+
+
+@dataclass
+class RunMetrics:
+    """Summary of one simulation run (after warmup filtering)."""
+
+    scheduler: str
+    arrival_rate_tps: float
+    sim_clocks: float
+    arrivals: int
+    commits: int
+    mean_response_time: float      # clocks
+    max_response_time: float       # clocks
+    throughput_tps: float
+    mean_attempts: float           # admission attempts per committed txn
+    dn_utilization: float          # mean over data nodes
+    cn_utilization: float
+    weight_messages: int
+    lock_retries: int              # blocked/delayed request re-submissions
+    aborts: int = 0                # mid-flight deadlock restarts (2PL)
+    wasted_objects: float = 0.0    # bulk work discarded by those aborts
+    scheduler_stats: Dict[str, float] = field(default_factory=dict)
+    response_time_by_label: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_response_time_seconds(self) -> float:
+        return self.mean_response_time / 1000.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+class MetricsCollector:
+    """Accumulates events during a run; produces a :class:`RunMetrics`."""
+
+    def __init__(self, warmup_clocks: float = 0.0) -> None:
+        self.warmup_clocks = warmup_clocks
+        self.arrivals = 0
+        self.lock_retries = 0
+        self.aborts = 0
+        self.wasted_objects = 0.0
+        self._response_times: List[float] = []
+        self._attempts: List[int] = []
+        self._commits = 0
+        self._by_label: Dict[str, List[float]] = {}
+
+    def record_arrival(self, now: float) -> None:
+        if now >= self.warmup_clocks:
+            self.arrivals += 1
+
+    def record_lock_retry(self) -> None:
+        self.lock_retries += 1
+
+    def record_abort(self, txn: TransactionRuntime) -> None:
+        """A mid-flight deadlock restart: its work so far is wasted."""
+        self.aborts += 1
+        self.wasted_objects += txn.objects_done
+
+    def record_commit(self, txn: TransactionRuntime, now: float) -> None:
+        if txn.arrival_time < self.warmup_clocks:
+            return  # transaction straddles the warmup boundary: discard
+        self._commits += 1
+        self._response_times.append(now - txn.arrival_time)
+        self._attempts.append(txn.attempts + 1)
+        label = getattr(txn.spec, "label", "")
+        if label:
+            self._by_label.setdefault(label, []).append(
+                now - txn.arrival_time)
+
+    @property
+    def commits(self) -> int:
+        return self._commits
+
+    @property
+    def response_times(self) -> List[float]:
+        return list(self._response_times)
+
+    def response_times_by_label(self) -> Dict[str, List[float]]:
+        """Response times grouped by the transactions' class labels."""
+        return {label: list(values)
+                for label, values in self._by_label.items()}
+
+    def mean_response_time_by_label(self) -> Dict[str, float]:
+        """Per-class mean RT (only classes with at least one commit)."""
+        return {label: sum(values) / len(values)
+                for label, values in self._by_label.items() if values}
+
+    def summarise(self, scheduler: str, arrival_rate_tps: float,
+                  sim_clocks: float, dn_utilization: float,
+                  cn_utilization: float, weight_messages: int,
+                  scheduler_stats: Optional[Dict[str, float]] = None,
+                  ) -> RunMetrics:
+        if sim_clocks <= self.warmup_clocks:
+            raise ExperimentError("run shorter than its warmup")
+        measured = sim_clocks - self.warmup_clocks
+        mean_rt = (sum(self._response_times) / len(self._response_times)
+                   if self._response_times else float("inf"))
+        max_rt = max(self._response_times, default=float("inf"))
+        mean_attempts = (sum(self._attempts) / len(self._attempts)
+                         if self._attempts else 0.0)
+        return RunMetrics(
+            scheduler=scheduler,
+            arrival_rate_tps=arrival_rate_tps,
+            sim_clocks=sim_clocks,
+            arrivals=self.arrivals,
+            commits=self._commits,
+            mean_response_time=mean_rt,
+            max_response_time=max_rt,
+            throughput_tps=self._commits / (measured / 1000.0),
+            mean_attempts=mean_attempts,
+            dn_utilization=dn_utilization,
+            cn_utilization=cn_utilization,
+            weight_messages=weight_messages,
+            lock_retries=self.lock_retries,
+            aborts=self.aborts,
+            wasted_objects=self.wasted_objects,
+            scheduler_stats=dict(scheduler_stats or {}),
+            response_time_by_label=self.mean_response_time_by_label(),
+        )

@@ -1,0 +1,58 @@
+"""Statistical helpers: batch means and confidence intervals.
+
+The paper reports single long runs (2,000,000 clocks); for our own
+quality control the experiment harness can additionally compute batch-
+means confidence intervals over a run's response times, the standard
+method for steady-state simulation output analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+
+def batch_means(values: Sequence[float], num_batches: int = 10) -> List[float]:
+    """Split ``values`` (in arrival order) into batch averages."""
+    if num_batches < 1:
+        raise ExperimentError("need at least one batch")
+    n = len(values)
+    if n < num_batches:
+        raise ExperimentError(
+            f"cannot form {num_batches} batches from {n} values")
+    size = n // num_batches
+    means = []
+    for b in range(num_batches):
+        chunk = values[b * size:(b + 1) * size]
+        means.append(sum(chunk) / len(chunk))
+    return means
+
+
+# Two-sided Student-t 97.5% quantiles for df = 1..30 (95% CI half-width).
+_T_975 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+def _t_quantile(df: int) -> float:
+    if df < 1:
+        raise ExperimentError("degrees of freedom must be >= 1")
+    if df <= len(_T_975):
+        return _T_975[df - 1]
+    return 1.96  # normal approximation for large df
+
+
+def mean_confidence_interval(values: Sequence[float],
+                             ) -> Tuple[float, float]:
+    """(mean, 95% half-width) of ``values`` via the Student t."""
+    n = len(values)
+    if n < 2:
+        raise ExperimentError("need at least two values for an interval")
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half = _t_quantile(n - 1) * math.sqrt(variance / n)
+    return mean, half

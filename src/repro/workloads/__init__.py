@@ -1,0 +1,35 @@
+"""Workload generation: the paper's transaction patterns and arrival mix.
+
+Each experiment defines a transaction *pattern* — a step template whose
+partitions are drawn at random per arrival.  The factories here return
+``WorkloadFn`` callables (``(tid, RandomStreams) -> TransactionSpec``)
+plus matching catalogs, so an experiment is fully described by
+``(pattern factory, catalog factory, parameters)``.
+"""
+
+from repro.workloads.patterns import (PatternWorkload, parse_pattern,
+                                      pattern1, pattern1_catalog, pattern2,
+                                      pattern2_catalog, pattern3,
+                                      pattern3_catalog)
+from repro.workloads.errors import declare_with_error
+from repro.workloads.mixed import MixedWorkload, short_transactions
+from repro.workloads.tracefile import (ReplayWorkload, load_trace,
+                                       record_workload, save_trace)
+
+__all__ = [
+    "MixedWorkload",
+    "PatternWorkload",
+    "ReplayWorkload",
+    "declare_with_error",
+    "load_trace",
+    "record_workload",
+    "save_trace",
+    "short_transactions",
+    "parse_pattern",
+    "pattern1",
+    "pattern1_catalog",
+    "pattern2",
+    "pattern2_catalog",
+    "pattern3",
+    "pattern3_catalog",
+]

@@ -1,0 +1,169 @@
+"""The paper's transaction patterns (Experiments 1-4) and a pattern DSL.
+
+Pattern 1 (Experiments 1 and 4), on 16 partitions of 5 objects::
+
+    r(F1:1) -> r(F2:5) -> w(F1:0.2) -> w(F2:1)
+
+a join of the indexed 20 % selection of F1 with a full scan of F2,
+updating 10 % of the read data in both (the 2a|P| bulk-update rule gives
+the 0.2 and 1 object write costs).  F1 and F2 are drawn uniformly,
+distinct, from all 16 partitions.
+
+Pattern 2 (Experiment 2), 8 read-only partitions of 5 objects plus
+``NumHots`` hot partitions of 1 object::
+
+    r(B:5) -> w(F1:1) -> w(F2:1)
+
+Pattern 3 (Experiment 3), same layout with NumHots = 8 but a shorter
+first step and heavier last step — longer blocking time::
+
+    r(B:4) -> w(F1:1) -> w(F2:2)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.core.transaction import Step, TransactionSpec
+from repro.engine.rng import RandomStreams
+from repro.errors import WorkloadError
+from repro.machine.partition import Catalog
+from repro.workloads.errors import declare_with_error
+
+StepTemplate = Tuple[str, str, float]  # (op 'r'/'w', symbol, cost)
+
+_PATTERN_RE = re.compile(r"^([rw])\(([A-Za-z]\w*):(\d+(?:\.\d+)?)\)$")
+
+
+def parse_pattern(text: str) -> List[StepTemplate]:
+    """Parse the paper's pattern notation.
+
+    >>> parse_pattern("r(F1:1) -> w(F2:0.2)")
+    [('r', 'F1', 1.0), ('w', 'F2', 0.2)]
+    """
+    templates = []
+    for token in text.split("->"):
+        token = token.strip()
+        match = _PATTERN_RE.match(token)
+        if not match:
+            raise WorkloadError(f"cannot parse pattern step {token!r}")
+        op, symbol, cost = match.groups()
+        templates.append((op, symbol, float(cost)))
+    if not templates:
+        raise WorkloadError("empty pattern")
+    return templates
+
+
+def bind_pattern(tid: int, templates: Sequence[StepTemplate],
+                 bindings: Dict[str, int]) -> TransactionSpec:
+    """Instantiate a pattern with concrete partition ids per symbol."""
+    steps = []
+    for op, symbol, cost in templates:
+        if symbol not in bindings:
+            raise WorkloadError(f"no binding for pattern symbol {symbol!r}")
+        partition = bindings[symbol]
+        steps.append(Step.read(partition, cost) if op == "r"
+                     else Step.write(partition, cost))
+    return TransactionSpec(tid, steps)
+
+
+class PatternWorkload:
+    """A workload drawing pattern bindings at random per arrival.
+
+    ``binder`` maps a :class:`RandomStreams` to the symbol->partition
+    bindings of one transaction.  ``error_sigma`` applies the Experiment 4
+    declared-cost error model on top.
+    """
+
+    def __init__(self, name: str, templates: Sequence[StepTemplate],
+                 binder: Callable[[RandomStreams], Dict[str, int]],
+                 error_sigma: float = 0.0) -> None:
+        self.name = name
+        self.templates = list(templates)
+        self.binder = binder
+        self.error_sigma = error_sigma
+
+    def __call__(self, tid: int, streams: RandomStreams) -> TransactionSpec:
+        spec = bind_pattern(tid, self.templates, self.binder(streams))
+        if self.error_sigma > 0:
+            steps = declare_with_error(spec.steps, streams, self.error_sigma)
+            spec = TransactionSpec(tid, steps)
+        return spec
+
+    def __repr__(self) -> str:
+        body = " -> ".join(f"{op}({sym}:{cost:g})"
+                           for op, sym, cost in self.templates)
+        return f"<PatternWorkload {self.name}: {body}>"
+
+
+# -- Pattern 1 (Experiments 1 and 4) ------------------------------------------
+
+PATTERN1_TEXT = "r(F1:1) -> r(F2:5) -> w(F1:0.2) -> w(F2:1)"
+
+
+def pattern1(num_partitions: int = 16,
+             error_sigma: float = 0.0) -> PatternWorkload:
+    """Experiment 1 workload: the join-and-update BAT on 16 partitions."""
+    if num_partitions < 2:
+        raise WorkloadError("pattern1 needs at least two partitions")
+    pids = list(range(num_partitions))
+
+    def binder(streams: RandomStreams) -> Dict[str, int]:
+        f1, f2 = streams.sample("pattern1-partitions", pids, 2)
+        return {"F1": f1, "F2": f2}
+
+    return PatternWorkload("Pattern1", parse_pattern(PATTERN1_TEXT), binder,
+                           error_sigma=error_sigma)
+
+
+def pattern1_catalog(num_partitions: int = 16, num_nodes: int = 8) -> Catalog:
+    """16 partitions of 5 objects, striped mod 8."""
+    return Catalog.uniform(num_partitions, size_objects=5.0,
+                           num_nodes=num_nodes)
+
+
+# -- Patterns 2 and 3 (Experiments 2 and 3) ------------------------------------
+
+PATTERN2_TEXT = "r(B:5) -> w(F1:1) -> w(F2:1)"
+PATTERN3_TEXT = "r(B:4) -> w(F1:1) -> w(F2:2)"
+
+
+def _hot_set_binder(num_readonly: int, num_hots: int,
+                    ) -> Callable[[RandomStreams], Dict[str, int]]:
+    readonly_pids = list(range(num_readonly))
+    hot_pids = list(range(num_readonly, num_readonly + num_hots))
+
+    def binder(streams: RandomStreams) -> Dict[str, int]:
+        b = streams.choice("hotset-readonly", readonly_pids)
+        f1, f2 = streams.sample("hotset-hot", hot_pids, 2)
+        return {"B": b, "F1": f1, "F2": f2}
+
+    return binder
+
+
+def pattern2(num_hots: int = 8, num_readonly: int = 8) -> PatternWorkload:
+    """Experiment 2 workload: scan a read-only file, update two hot ones."""
+    if num_hots < 2:
+        raise WorkloadError("pattern2 needs at least two hot partitions")
+    return PatternWorkload("Pattern2", parse_pattern(PATTERN2_TEXT),
+                           _hot_set_binder(num_readonly, num_hots))
+
+
+def pattern3(num_hots: int = 8, num_readonly: int = 8) -> PatternWorkload:
+    """Experiment 3 workload: like Pattern2 with longer blocking time."""
+    if num_hots < 2:
+        raise WorkloadError("pattern3 needs at least two hot partitions")
+    return PatternWorkload("Pattern3", parse_pattern(PATTERN3_TEXT),
+                           _hot_set_binder(num_readonly, num_hots))
+
+
+def pattern2_catalog(num_hots: int = 8, num_readonly: int = 8,
+                     num_nodes: int = 8) -> Catalog:
+    """8 read-only partitions of 5 objects + NumHots hot ones of 1 object."""
+    return Catalog.hot_set(num_hots=num_hots, hot_size=1.0,
+                           num_readonly=num_readonly, readonly_size=5.0,
+                           num_nodes=num_nodes)
+
+
+pattern3_catalog = pattern2_catalog

@@ -1,0 +1,128 @@
+"""Trace-driven workloads: save, load and replay fixed transaction sets.
+
+Production BAT traces are not publicly available (1990 banking batch
+logs...), so the experiments use the paper's synthetic patterns — but a
+real deployment would drive the scheduler from its own batch logs.  This
+module provides the interchange format for that: a JSON-lines file, one
+transaction per line::
+
+    {"tid": 1, "steps": [{"op": "r", "partition": 3, "cost": 5.0},
+                         {"op": "w", "partition": 7, "cost": 1.0,
+                          "declared_cost": 1.5}]}
+
+and a :class:`ReplayWorkload` that feeds a fixed list of specs to the
+simulator (cycling or raising when exhausted).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.transaction import LockMode, Step, TransactionSpec
+from repro.engine.rng import RandomStreams
+from repro.errors import WorkloadError
+
+_OPS = {"r": LockMode.SHARED, "w": LockMode.EXCLUSIVE}
+_OP_OF = {LockMode.SHARED: "r", LockMode.EXCLUSIVE: "w"}
+
+
+def spec_to_dict(spec: TransactionSpec) -> dict:
+    """JSON-able representation of one transaction."""
+    steps = []
+    for step in spec.steps:
+        entry = {"op": _OP_OF[step.mode], "partition": step.partition,
+                 "cost": step.cost}
+        if step.declared_cost != step.cost:
+            entry["declared_cost"] = step.declared_cost
+        steps.append(entry)
+    return {"tid": spec.tid, "steps": steps}
+
+
+def spec_from_dict(raw: dict) -> TransactionSpec:
+    """Parse one transaction from its dict form (validating everything)."""
+    try:
+        tid = int(raw["tid"])
+        step_entries = raw["steps"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WorkloadError(f"malformed transaction record: {raw!r}") from exc
+    steps: List[Step] = []
+    for entry in step_entries:
+        try:
+            mode = _OPS[entry["op"]]
+            partition = int(entry["partition"])
+            cost = float(entry["cost"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WorkloadError(f"malformed step record: {entry!r}") from exc
+        declared = entry.get("declared_cost")
+        steps.append(Step(partition, mode, cost,
+                          None if declared is None else float(declared)))
+    return TransactionSpec(tid, steps)
+
+
+def save_trace(path, specs: Iterable[TransactionSpec]) -> None:
+    """Write transactions as JSON lines."""
+    with open(path, "w") as handle:
+        for spec in specs:
+            handle.write(json.dumps(spec_to_dict(spec), sort_keys=True))
+            handle.write("\n")
+
+
+def load_trace(path) -> List[TransactionSpec]:
+    """Read a JSON-lines transaction trace."""
+    specs = []
+    with open(path) as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise WorkloadError(
+                    f"{path}:{number}: invalid JSON") from exc
+            specs.append(spec_from_dict(raw))
+    return specs
+
+
+class ReplayWorkload:
+    """Feed a fixed list of transactions to the simulator in order.
+
+    ``tid`` values are re-assigned from the simulator's arrival counter
+    (the trace's own tids are kept as ``source_tid`` provenance only via
+    ordering).  With ``cycle=True`` the list repeats forever; otherwise a
+    :class:`WorkloadError` is raised when the trace runs dry — size your
+    horizon accordingly.
+    """
+
+    def __init__(self, specs: Sequence[TransactionSpec],
+                 cycle: bool = True) -> None:
+        if not specs:
+            raise WorkloadError("cannot replay an empty trace")
+        self._specs = list(specs)
+        self.cycle = cycle
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __call__(self, tid: int,
+                 streams: Optional[RandomStreams] = None) -> TransactionSpec:
+        index = tid - 1
+        if index >= len(self._specs):
+            if not self.cycle:
+                raise WorkloadError(
+                    f"trace exhausted after {len(self._specs)} transactions")
+            index %= len(self._specs)
+        template = self._specs[index]
+        return TransactionSpec(tid, template.steps)
+
+
+def record_workload(workload, count: int, seed: int = 0,
+                    ) -> List[TransactionSpec]:
+    """Materialise ``count`` transactions from any workload function.
+
+    Handy for turning a synthetic pattern into a fixed, shareable trace:
+    ``save_trace(path, record_workload(pattern1(), 500))``.
+    """
+    streams = RandomStreams(seed)
+    return [workload(tid, streams) for tid in range(1, count + 1)]

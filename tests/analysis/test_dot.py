@@ -1,0 +1,52 @@
+"""Tests for the Graphviz DOT export."""
+
+from repro.analysis.dot import wtpg_to_dot
+from repro.core import WTPG
+
+
+def figure2_graph():
+    g = WTPG()
+    g.add_transaction(1, 5)
+    g.add_transaction(2, 2)
+    g.add_transaction(3, 4)
+    g.ensure_pair(1, 2).raise_weight_to(2, 1)
+    e = g.ensure_pair(2, 3)
+    e.raise_weight_to(3, 4)
+    e.raise_weight_to(2, 2)
+    return g
+
+
+def test_structure_and_labels():
+    dot = wtpg_to_dot(figure2_graph())
+    assert dot.startswith('digraph "WTPG" {')
+    assert dot.rstrip().endswith("}")
+    assert 'T1 [label="T1\\nw=5"]' in dot
+    assert "T0 -> T1" in dot
+
+
+def test_unresolved_pairs_are_dashed_double_arrows():
+    dot = wtpg_to_dot(figure2_graph())
+    assert "style=dashed, dir=both" in dot
+
+
+def test_resolved_pairs_are_solid_directed(
+):
+    g = figure2_graph()
+    g.resolve(1, 2)
+    dot = wtpg_to_dot(g)
+    assert 'T1 -> T2 [label="1", penwidth=1.5]' in dot
+
+
+def test_without_t0():
+    dot = wtpg_to_dot(figure2_graph(), include_t0=False)
+    assert "T0" not in dot
+
+
+def test_title_is_quoted():
+    dot = wtpg_to_dot(WTPG(), title='my "graph"')
+    assert 'digraph "my \\"graph\\""' in dot
+
+
+def test_empty_graph_renders():
+    dot = wtpg_to_dot(WTPG())
+    assert dot.count("->") == 0

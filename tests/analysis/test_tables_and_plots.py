@@ -1,0 +1,74 @@
+"""Unit tests for text tables and ASCII charts."""
+
+import math
+
+from repro.analysis import ascii_chart, format_series_table, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.123]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "-" in lines[1]
+        assert "2.500" in lines[2]
+
+    def test_none_renders_empty(self):
+        text = format_table(["x"], [[None]])
+        assert text.splitlines()[2].strip() == ""
+
+    def test_floats_formatted(self):
+        text = format_table(["v"], [[0.123456]])
+        assert "0.123" in text
+
+
+class TestFormatSeriesTable:
+    def test_figure_shape(self):
+        text = format_series_table("lambda", [0.2, 0.4],
+                                   {"A": [1.0, 2.0], "B": [3.0, 4.0]})
+        lines = text.splitlines()
+        assert "lambda" in lines[0]
+        assert "A" in lines[0] and "B" in lines[0]
+        assert len(lines) == 4
+
+    def test_short_series_padded_with_blank(self):
+        text = format_series_table("x", [1, 2], {"A": [5.0]})
+        assert len(text.splitlines()) == 4
+
+
+class TestAsciiChart:
+    def series(self):
+        return {"ASL": [(0.1, 10.0), (0.5, 30.0)],
+                "C2PL": [(0.1, 12.0), (0.5, 80.0)]}
+
+    def test_contains_markers_and_legend(self):
+        chart = ascii_chart(self.series())
+        assert "A=ASL" in chart
+        assert "C=C2PL" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_chart(self.series(), x_label="rate", y_label="RT")
+        assert "rate" in chart
+        assert chart.splitlines()[0] == "RT"
+
+    def test_infinite_points_skipped(self):
+        chart = ascii_chart({"X": [(0.1, 5.0), (0.2, math.inf)]})
+        assert "X=X" in chart
+
+    def test_all_infinite_reports_no_data(self):
+        assert ascii_chart({"X": [(0.1, math.inf)]}) == "(no finite data)"
+
+    def test_y_max_clamps(self):
+        chart = ascii_chart({"X": [(0, 1e9)]}, y_max=100)
+        assert "1e+09" not in chart
+
+    def test_marker_collision_falls_back(self):
+        chart = ascii_chart({"AA": [(0, 1)], "AB": [(1, 2)]})
+        assert "A=AA" in chart
+        # AB gets its second letter since A is taken.
+        assert "B=AB" in chart
+
+    def test_single_point_series(self):
+        chart = ascii_chart({"X": [(1.0, 5.0)]})
+        assert "X=X" in chart

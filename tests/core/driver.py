@@ -1,0 +1,93 @@
+"""A logical (timeless) scheduler driver for tests.
+
+Runs a set of transactions through a scheduler without the discrete-event
+machine: logical time advances by one unit per scheduler interaction, each
+granted step is executed instantly (with per-object weight-adjustment
+calls), and locks are held to commit.  The driver detects livelock (a full
+pass over all live transactions without any progress) and records a
+:class:`repro.core.history.History` for serializability checking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.history import History
+from repro.core.schedulers.base import Decision, Scheduler
+from repro.core.transaction import TransactionRuntime, TransactionSpec
+
+
+class DriverResult:
+    def __init__(self) -> None:
+        self.history = History()
+        self.commit_order: List[int] = []
+        self.admission_rejections: Dict[int, int] = {}
+        self.lock_delays: Dict[int, int] = {}
+        self.ticks = 0
+
+
+def run_logical(scheduler: Scheduler, specs: Sequence[TransactionSpec],
+                max_passes: int = 10_000) -> DriverResult:
+    """Drive every spec to commit; raises AssertionError on livelock."""
+    result = DriverResult()
+    runtimes = [TransactionRuntime(spec) for spec in specs]
+    admitted: Dict[int, bool] = {rt.tid: False for rt in runtimes}
+    grant_times: Dict[int, List[Tuple[int, int, object, float]]] = {
+        rt.tid: [] for rt in runtimes}
+    now = 0.0
+
+    live = list(runtimes)
+    passes_without_progress = 0
+    while live:
+        progressed = False
+        for txn in list(live):
+            now += 1.0
+            result.ticks += 1
+            if not admitted[txn.tid]:
+                response = scheduler.admit(txn, now)
+                if not response.admitted:
+                    result.admission_rejections[txn.tid] = (
+                        result.admission_rejections.get(txn.tid, 0) + 1)
+                    txn.reset_for_retry()
+                    continue
+                admitted[txn.tid] = True
+                txn.start_time = now
+                progressed = True
+                continue
+            if txn.finished_all_steps:
+                scheduler.commit(txn, now)
+                txn.commit_time = now
+                for tid, step_index, mode, granted_at in grant_times[txn.tid]:
+                    result.history.record(
+                        tid, step_index, mode, granted_at, now)
+                result.commit_order.append(txn.tid)
+                live.remove(txn)
+                progressed = True
+                continue
+            response = scheduler.request_lock(txn, now)
+            if response.decision is Decision.GRANT:
+                step = txn.step()
+                grant_times[txn.tid].append(
+                    (txn.tid, step.partition, step.mode, now))
+                whole, frac = int(step.cost), step.cost - int(step.cost)
+                for _ in range(whole):
+                    scheduler.object_processed(txn)
+                if frac:
+                    txn.note_object_processed(0)  # no-op placeholder
+                txn.advance_step()
+                progressed = True
+            else:
+                result.lock_delays[txn.tid] = (
+                    result.lock_delays.get(txn.tid, 0) + 1)
+        if progressed:
+            passes_without_progress = 0
+        else:
+            passes_without_progress += 1
+            if passes_without_progress >= 3:
+                stuck = sorted(t.tid for t in live)
+                raise AssertionError(
+                    f"{scheduler.name}: no progress possible; stuck "
+                    f"transactions {stuck} (deadlock or livelock)")
+        if result.ticks > max_passes:
+            raise AssertionError(f"{scheduler.name}: exceeded {max_passes} ticks")
+    return result

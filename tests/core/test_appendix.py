@@ -1,0 +1,116 @@
+"""Tests for the appendix Lcomp/Rcomp port.
+
+Three-way equivalence: on fully free chains, the appendix algorithm, the
+production Pareto DP (`optimise_chain`) and exhaustive enumeration must
+all report the same shortest critical path.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ChainPair, optimise_chain
+from repro.core.appendix import (Triplet, appendix_shortest_critical_path,
+                                 from_chain)
+from repro.core.chain_opt import brute_force_chain
+from repro.errors import WTPGError
+
+
+def solve(r, weights):
+    pairs = [ChainPair(down=d, up=u) for d, u in weights]
+    return appendix_shortest_critical_path(*from_chain(r, pairs)), pairs
+
+
+class TestBasics:
+    def test_empty_and_singleton(self):
+        assert appendix_shortest_critical_path([0.0], [0.0], [0.0]) == 0.0
+        assert appendix_shortest_critical_path([0.0, 7.0],
+                                               [0.0, 0.0], [0.0, 0.0]) == 7.0
+
+    def test_two_nodes(self):
+        # min(max(r1+a2, r2), max(r2+b2, r1))
+        got, _ = solve([2, 5], [(4, 1)])
+        assert got == min(max(2 + 4, 5), max(5 + 1, 2)) == 6
+
+    def test_figure2_chain(self):
+        # Figure 2-(a): r = [5, 2, 4]; (T1,T2): down 1 / up 1;
+        # (T2,T3): down 4 / up 2.  Optimal critical path is 6.
+        got, _ = solve([5, 2, 4], [(1, 1), (4, 2)])
+        assert got == 6
+
+    def test_example_4_1_g24(self):
+        """Figure 11 / Example 4.2: S(2,4) has critical path 6.
+
+        G(2,4) per Example 4.1: R[3].crit = 6 beats L[3].crit = 8; the
+        weights below realise those numbers (r2=2, r3=4, r4=2 with
+        a3=4, b3=2, a4=2, b4=2 gives L=8 via n0->n2->n3->n4 and R=6).
+        """
+        r = [2, 4, 2]
+        down_up = [(4, 2), (2, 2)]
+        # All-down orientation: dist = max(2, 2+4, 2+4+2) = 8 (L[3] case).
+        from repro.core.chain_opt import chain_critical_path, DOWN, UP
+        pairs = [ChainPair(*w) for w in down_up]
+        assert chain_critical_path(r, pairs, [DOWN, DOWN]) == 8
+        # The optimum flips (n2,n3) upwards: {n2<-n3->n4} -> length 6.
+        assert chain_critical_path(r, pairs, [UP, DOWN]) == 6
+        got, _ = solve(r, down_up)
+        assert got == 6
+
+    def test_validation_errors(self):
+        with pytest.raises(WTPGError):
+            appendix_shortest_critical_path([1.0, 2.0], [0.0], [0.0, 0.0])
+        with pytest.raises(WTPGError):
+            appendix_shortest_critical_path([0.0, -1.0], [0.0, 0.0],
+                                            [0.0, 0.0])
+
+    def test_from_chain_rejects_fixed_or_absent(self):
+        with pytest.raises(WTPGError):
+            from_chain([1, 2], [None])
+        with pytest.raises(WTPGError):
+            from_chain([1, 2], [ChainPair(1, 1, fixed="down")])
+
+    def test_triplet_is_frozen(self):
+        triplet = Triplet(1.0, 2.0, 3)
+        with pytest.raises(AttributeError):
+            triplet.curr = 5.0
+
+
+weights = st.floats(min_value=0, max_value=15, allow_nan=False,
+                    allow_infinity=False)
+
+
+@st.composite
+def free_chains(draw, max_nodes=8):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    r = [draw(weights) for _ in range(n)]
+    pairs = [ChainPair(draw(weights), draw(weights)) for _ in range(n - 1)]
+    return r, pairs
+
+
+@settings(max_examples=250, deadline=None)
+@given(free_chains())
+def test_appendix_matches_brute_force(instance):
+    r, pairs = instance
+    expected, _ = brute_force_chain(r, pairs)
+    got = appendix_shortest_critical_path(*from_chain(r, pairs))
+    assert got == pytest.approx(expected)
+
+
+@settings(max_examples=250, deadline=None)
+@given(free_chains(max_nodes=12))
+def test_appendix_matches_pareto_dp(instance):
+    r, pairs = instance
+    dp, _ = optimise_chain(r, pairs)
+    got = appendix_shortest_critical_path(*from_chain(r, pairs))
+    assert got == pytest.approx(dp)
+
+
+def test_long_chain_smoke():
+    import random
+    rng = random.Random(99)
+    n = 200
+    r = [rng.uniform(0, 10) for _ in range(n)]
+    pairs = [ChainPair(rng.uniform(0, 5), rng.uniform(0, 5))
+             for _ in range(n - 1)]
+    dp, _ = optimise_chain(r, pairs)
+    got = appendix_shortest_critical_path(*from_chain(r, pairs))
+    assert got == pytest.approx(dp)

@@ -1,0 +1,148 @@
+"""Scenario tests for Cautious 2PL: blocking, deadlock prediction, upgrades."""
+
+import pytest
+
+from repro.core import LockMode, Step, TransactionRuntime, TransactionSpec
+from repro.core.schedulers import CautiousTwoPhaseLock, Decision
+
+
+def rt(tid, steps):
+    return TransactionRuntime(TransactionSpec(tid, steps))
+
+
+def test_grant_when_no_conflict():
+    sched = CautiousTwoPhaseLock()
+    t1 = rt(1, [Step.read(0, 1)])
+    sched.admit(t1)
+    assert sched.request_lock(t1).granted
+
+
+def test_block_on_conflicting_holder():
+    sched = CautiousTwoPhaseLock()
+    t1 = rt(1, [Step.write(0, 1)])
+    t2 = rt(2, [Step.read(0, 1)])
+    sched.admit(t1)
+    sched.admit(t2)
+    sched.request_lock(t1)
+    response = sched.request_lock(t2)
+    assert response.decision is Decision.BLOCK
+
+
+def test_shared_locks_grant_concurrently():
+    sched = CautiousTwoPhaseLock()
+    t1 = rt(1, [Step.read(0, 1)])
+    t2 = rt(2, [Step.read(0, 1)])
+    sched.admit(t1)
+    sched.admit(t2)
+    assert sched.request_lock(t1).granted
+    assert sched.request_lock(t2).granted
+
+
+def test_cross_partition_deadlock_predicted_and_avoided():
+    """T1: w(A) then w(B); T2: w(B) then w(A) — plain 2PL deadlocks here.
+
+    C2PL grants T1's A (fixing T1 before T2), then must *delay* T2's B
+    request, because granting it would fix T2 before T1: a cycle.
+    """
+    A, B = 0, 1
+    sched = CautiousTwoPhaseLock()
+    t1 = rt(1, [Step.write(A, 1), Step.write(B, 1)])
+    t2 = rt(2, [Step.write(B, 1), Step.write(A, 1)])
+    sched.admit(t1)
+    sched.admit(t2)
+    assert sched.request_lock(t1).granted          # T1 takes A: T1 -> T2
+    delayed = sched.request_lock(t2)
+    assert delayed.decision is Decision.DELAY      # T2 on B would cycle
+    assert sched.stats.deadlock_predictions == 1
+
+    # T1 can finish: grant B, commit; then T2 proceeds freely.
+    t1.advance_step()
+    assert sched.request_lock(t1).granted
+    t1.advance_step()
+    sched.commit(t1)
+    assert sched.request_lock(t2).granted
+    t2.advance_step()
+    assert sched.request_lock(t2).granted
+
+
+def test_upgrade_race_is_serialized():
+    """Both T1 and T2 do r(A) then w(A).
+
+    Granting T1's S on A fixes T1 -> T2 (T2's X must wait for T1's
+    commit).  T2's S request then implies T2 -> T1 (via T1's pending X):
+    contradiction, so C2PL delays it — avoiding the classic S/S upgrade
+    deadlock of plain 2PL.
+    """
+    sched = CautiousTwoPhaseLock()
+    t1 = rt(1, [Step.read(0, 1), Step.write(0, 1)])
+    t2 = rt(2, [Step.read(0, 1), Step.write(0, 1)])
+    sched.admit(t1)
+    sched.admit(t2)
+    assert sched.request_lock(t1).granted
+    response = sched.request_lock(t2)
+    assert response.decision is Decision.DELAY
+
+    # T1 upgrades (self-conflict ignored), finishes, commits.
+    t1.advance_step()
+    assert sched.request_lock(t1).granted
+    t1.advance_step()
+    sched.commit(t1)
+    assert sched.request_lock(t2).granted
+
+
+def test_holder_forces_order_for_late_arrival():
+    sched = CautiousTwoPhaseLock()
+    t1 = rt(1, [Step.write(0, 2), Step.write(1, 1)])
+    sched.admit(t1)
+    sched.request_lock(t1)  # T1 holds X on P0
+    t2 = rt(2, [Step.write(1, 1), Step.write(0, 1)])
+    sched.admit(t2)
+    # Pair is pre-resolved T1 -> T2; T2's request on P1 would imply
+    # T2 -> T1: delay.
+    response = sched.request_lock(t2)
+    assert response.decision is Decision.DELAY
+
+
+def test_chain_of_blocking_is_permitted():
+    """C2PL happily builds T1 -> T2 -> T3 chains (its weakness)."""
+    sched = CautiousTwoPhaseLock()
+    t1 = rt(1, [Step.write(0, 1)])
+    t2 = rt(2, [Step.write(0, 1), Step.write(1, 1)])
+    t3 = rt(3, [Step.write(1, 1)])
+    for t in (t1, t2, t3):
+        sched.admit(t)
+    assert sched.request_lock(t1).granted       # T1 -> T2 on P0
+    assert sched.request_lock(t3).granted       # T3 -> T2 on P1
+    assert sched.request_lock(t2).decision is Decision.BLOCK
+
+
+def test_already_held_lock_is_regranted_silently():
+    sched = CautiousTwoPhaseLock()
+    t1 = rt(1, [Step.write(0, 1), Step.read(0, 1)])
+    sched.admit(t1)
+    assert sched.request_lock(t1).granted
+    t1.advance_step()
+    response = sched.request_lock(t1)
+    assert response.granted
+    assert response.reason == "already held"
+
+
+def test_commit_removes_from_graph_and_table():
+    sched = CautiousTwoPhaseLock()
+    t1 = rt(1, [Step.write(0, 1)])
+    sched.admit(t1)
+    sched.request_lock(t1)
+    t1.advance_step()
+    sched.commit(t1)
+    assert 1 not in sched.wtpg
+    assert not sched.table.is_registered(1)
+
+
+def test_object_processing_decrements_wtpg_weight():
+    sched = CautiousTwoPhaseLock()
+    t1 = rt(1, [Step.write(0, 3)])
+    sched.admit(t1)
+    assert sched.wtpg.source_weight(1) == 3
+    sched.object_processed(t1)
+    assert sched.wtpg.source_weight(1) == 2
+    assert t1.remaining_declared == 2

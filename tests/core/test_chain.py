@@ -1,0 +1,119 @@
+"""Unit tests for chain-form detection and decomposition (Definition 2)."""
+
+import pytest
+
+from repro.core import WTPG, chain_components, is_chain_form
+from repro.core.chain import would_remain_chain_form
+from repro.errors import NotChainFormError
+
+
+def graph_with_pairs(n_nodes, pairs):
+    g = WTPG()
+    for tid in range(1, n_nodes + 1):
+        g.add_transaction(tid, 1)
+    for a, b in pairs:
+        g.ensure_pair(a, b)
+    return g
+
+
+class TestChainComponents:
+    def test_empty_graph_is_chain_form(self):
+        assert chain_components(WTPG()) == []
+        assert is_chain_form(WTPG())
+
+    def test_isolated_nodes(self):
+        g = graph_with_pairs(3, [])
+        comps = chain_components(g)
+        assert sorted(map(tuple, comps)) == [(1,), (2,), (3,)]
+
+    def test_single_chain(self):
+        g = graph_with_pairs(4, [(1, 2), (2, 3), (3, 4)])
+        assert chain_components(g) == [[1, 2, 3, 4]]
+
+    def test_chain_found_regardless_of_tid_order(self):
+        g = graph_with_pairs(4, [(3, 1), (1, 4), (4, 2)])
+        comps = chain_components(g)
+        assert comps == [[2, 4, 1, 3]]  # starts at smallest-tid endpoint
+
+    def test_two_components(self):
+        g = graph_with_pairs(5, [(1, 2), (4, 5)])
+        comps = chain_components(g)
+        assert [1, 2] in comps
+        assert [4, 5] in comps
+        assert [3] in comps
+
+    def test_star_rejected(self):
+        g = graph_with_pairs(4, [(1, 2), (1, 3), (1, 4)])
+        with pytest.raises(NotChainFormError):
+            chain_components(g)
+        assert not is_chain_form(g)
+
+    def test_triangle_rejected(self):
+        g = graph_with_pairs(3, [(1, 2), (2, 3), (1, 3)])
+        with pytest.raises(NotChainFormError):
+            chain_components(g)
+
+    def test_larger_cycle_rejected(self):
+        g = graph_with_pairs(4, [(1, 2), (2, 3), (3, 4), (4, 1)])
+        with pytest.raises(NotChainFormError):
+            chain_components(g)
+
+    def test_resolved_pairs_still_count_as_conflicts(self):
+        g = graph_with_pairs(3, [(1, 2), (2, 3), (1, 3)])
+        g.resolve(1, 2)
+        g.resolve(2, 3)
+        g.resolve(1, 3)
+        # Still a triangle in the conflict graph even though resolved.
+        assert not is_chain_form(g)
+
+    def test_figure2_is_chain_form(self):
+        g = graph_with_pairs(3, [(1, 2), (2, 3)])
+        assert chain_components(g) == [[1, 2, 3]]
+
+
+class TestWouldRemainChainForm:
+    def test_no_conflicts_always_ok(self):
+        g = graph_with_pairs(3, [(1, 2), (2, 3)])
+        assert would_remain_chain_form(g, 9, [])
+
+    def test_attach_to_endpoint_ok(self):
+        g = graph_with_pairs(3, [(1, 2), (2, 3)])
+        assert would_remain_chain_form(g, 9, [1])
+        assert would_remain_chain_form(g, 9, [3])
+
+    def test_attach_to_middle_rejected(self):
+        g = graph_with_pairs(3, [(1, 2), (2, 3)])
+        assert not would_remain_chain_form(g, 9, [2])
+
+    def test_three_conflicts_rejected(self):
+        g = graph_with_pairs(3, [])
+        assert not would_remain_chain_form(g, 9, [1, 2, 3])
+
+    def test_bridge_between_two_components_ok(self):
+        g = graph_with_pairs(4, [(1, 2), (3, 4)])
+        assert would_remain_chain_form(g, 9, [2, 3])
+
+    def test_closing_a_cycle_rejected(self):
+        g = graph_with_pairs(3, [(1, 2), (2, 3)])
+        assert not would_remain_chain_form(g, 9, [1, 3])
+
+    def test_check_is_pure(self):
+        g = graph_with_pairs(3, [(1, 2)])
+        would_remain_chain_form(g, 9, [3])
+        assert 9 not in g
+        assert g.conflict_neighbors(3) == set()
+
+    def test_prediction_matches_actual_insertion(self):
+        # Cross-validate the pure predicate against really inserting.
+        import itertools
+
+        base_pairs = [(1, 2), (2, 3), (4, 5)]
+        for conflict_set in itertools.chain.from_iterable(
+                itertools.combinations(range(1, 6), k) for k in range(4)):
+            g = graph_with_pairs(5, base_pairs)
+            predicted = would_remain_chain_form(g, 9, conflict_set)
+            g.add_transaction(9, 1)
+            for other in conflict_set:
+                g.ensure_pair(9, other)
+            assert predicted == is_chain_form(g), (
+                f"mismatch for conflicts {conflict_set}")

@@ -1,0 +1,90 @@
+"""Property tests for chain-form detection, with networkx as referee."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import WTPG, chain_components, is_chain_form
+from repro.core.chain import would_remain_chain_form
+from repro.errors import NotChainFormError
+
+
+@st.composite
+def conflict_graphs(draw, max_nodes=8):
+    n = draw(st.integers(min_value=0, max_value=max_nodes))
+    edges = []
+    for a in range(1, n + 1):
+        for b in range(a + 1, n + 1):
+            if draw(st.booleans()):
+                edges.append((a, b))
+    return n, edges
+
+
+def build_wtpg(n, edges):
+    g = WTPG()
+    for tid in range(1, n + 1):
+        g.add_transaction(tid, 1.0)
+    for a, b in edges:
+        g.ensure_pair(a, b)
+    return g
+
+
+def reference_is_chain_form(n, edges):
+    """networkx referee: disjoint union of simple paths."""
+    if n == 0:
+        return True  # the empty WTPG is trivially chain-form
+    graph = nx.Graph()
+    graph.add_nodes_from(range(1, n + 1))
+    graph.add_edges_from(edges)
+    if any(degree > 2 for _, degree in graph.degree):
+        return False
+    return nx.is_forest(graph)
+
+
+@settings(max_examples=300, deadline=None)
+@given(conflict_graphs())
+def test_chain_form_matches_networkx_reference(case):
+    n, edges = case
+    assert is_chain_form(build_wtpg(n, edges)) == \
+        reference_is_chain_form(n, edges)
+
+
+@settings(max_examples=200, deadline=None)
+@given(conflict_graphs())
+def test_components_partition_the_nodes_along_edges(case):
+    n, edges = case
+    g = build_wtpg(n, edges)
+    try:
+        components = chain_components(g)
+    except NotChainFormError:
+        return
+    # Every node exactly once.
+    flat = [tid for component in components for tid in component]
+    assert sorted(flat) == list(range(1, n + 1))
+    # Consecutive nodes in a component are conflict neighbours; the
+    # component is a maximal path.
+    edge_set = {frozenset(e) for e in edges}
+    for component in components:
+        for left, right in zip(component, component[1:]):
+            assert frozenset((left, right)) in edge_set
+    # Every edge appears inside exactly one component.
+    component_edges = {frozenset((l, r))
+                       for component in components
+                       for l, r in zip(component, component[1:])}
+    assert component_edges == edge_set
+
+
+@settings(max_examples=200, deadline=None)
+@given(conflict_graphs(max_nodes=6),
+       st.sets(st.integers(min_value=1, max_value=6)))
+def test_admission_prediction_equals_actual_insertion(case, conflicts):
+    n, edges = case
+    conflicts = {c for c in conflicts if c <= n}
+    g = build_wtpg(n, edges)
+    if not is_chain_form(g):
+        return
+    predicted = would_remain_chain_form(g, 99, conflicts)
+    g.add_transaction(99, 1.0)
+    for other in conflicts:
+        g.ensure_pair(99, other)
+    assert predicted == is_chain_form(g)

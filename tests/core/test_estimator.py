@@ -1,0 +1,131 @@
+"""Tests for E(q), anchored on the paper's Figure 4 / Examples 3.4-3.5."""
+
+import pytest
+
+from repro.core import WTPG, estimate_contention
+from repro.core.estimator import INFINITE_CONTENTION
+from repro.errors import WTPGError
+
+
+def figure4_wtpg():
+    """The WTPG of Figure 4-(a).
+
+    Source weights are all 0 (as the example states).  Structure:
+    T4 -> T5 resolved (weight 1); pair (T4, T6) unresolved with
+    w(T4->T6) = 10, w(T6->T4) = 2; pair (T5, T6) unresolved with
+    w(T5->T6) = 1 and w(T6->T5) = 1 (the request q of T5 conflicts
+    with T6; q' of T6 conflicts back).  These weights reproduce the
+    example's outcomes: E(q) = 10 via the crossing resolution T4 -> T6,
+    E(q') = 1.
+    """
+    g = WTPG()
+    for tid in (4, 5, 6):
+        g.add_transaction(tid, 0)
+    e45 = g.ensure_pair(4, 5)
+    e45.raise_weight_to(5, 1)
+    g.resolve(4, 5)
+    e46 = g.ensure_pair(4, 6)
+    e46.raise_weight_to(6, 10)
+    e46.raise_weight_to(4, 2)
+    e56 = g.ensure_pair(5, 6)
+    e56.raise_weight_to(6, 1)
+    e56.raise_weight_to(5, 1)
+    return g
+
+
+class TestFigure4:
+    def test_example_3_4_e_of_q_is_10(self):
+        """Granting q of T5 (implying T5->T6) gives E(q) = 10.
+
+        before(T5) = {T4}, after(T5) = {T6}; the crossing pair (T4,T6)
+        resolves T4->T6; the critical path is T4->T6 of length 10.
+        """
+        g = figure4_wtpg()
+        assert estimate_contention(g, 5, [(5, 6)]) == 10
+
+    def test_example_3_5_e_of_q_prime_is_1(self):
+        """Granting q' of T6 (implying T6->T5) gives E(q') = 1.
+
+        before(T6) = {}, after(T6) = {T5}; the pair (T4,T6) is not
+        crossing, so it is deleted; remaining paths: T4->T5 (1) and
+        T6->T5 (1).
+        """
+        g = figure4_wtpg()
+        assert estimate_contention(g, 6, [(6, 5)]) == 1
+
+    def test_k_wtpg_would_delay_q_and_grant_q_prime(self):
+        g = figure4_wtpg()
+        e_q = estimate_contention(g, 5, [(5, 6)])
+        e_q_prime = estimate_contention(g, 6, [(6, 5)])
+        assert e_q > e_q_prime  # CC2 delays q of T5 (Example 3.5)
+
+    def test_input_graph_not_modified(self):
+        g = figure4_wtpg()
+        estimate_contention(g, 5, [(5, 6)])
+        assert g.orientation(5, 6) is None
+        assert g.orientation(4, 6) is None
+
+
+class TestDeadlockDetection:
+    def test_flipping_resolved_pair_is_infinite(self):
+        g = figure4_wtpg()
+        # T4 -> T5 is resolved; implying T5 -> T4 is a deadlock.
+        assert estimate_contention(g, 5, [(5, 4)]) == INFINITE_CONTENTION
+
+    def test_cycle_through_implied_edges_is_infinite(self):
+        g = WTPG()
+        for tid in (1, 2, 3):
+            g.add_transaction(tid, 0)
+        for a, b in ((1, 2), (2, 3), (1, 3)):
+            g.ensure_pair(a, b)
+        g.resolve(1, 2)
+        g.resolve(2, 3)
+        # Granting a lock to T3 that implies T3 -> T1 closes the cycle.
+        assert estimate_contention(g, 3, [(3, 1)]) == INFINITE_CONTENTION
+
+    def test_transitively_forced_cycle_detected(self):
+        # before/after crossing resolution can itself close a cycle if the
+        # graph was already tangled; ensure we return infinity not a crash.
+        g = WTPG()
+        for tid in (1, 2, 3, 4):
+            g.add_transaction(tid, 0)
+        g.ensure_pair(1, 2)
+        g.resolve(1, 2)
+        g.ensure_pair(2, 3)
+        g.ensure_pair(3, 4)
+        g.resolve(3, 4)
+        g.ensure_pair(4, 1)
+        g.resolve(4, 1)
+        # Implying 2->3 creates 1->2->3->4->1.
+        assert estimate_contention(g, 2, [(2, 3)]) == INFINITE_CONTENTION
+
+
+class TestEstimatorMechanics:
+    def test_unknown_transaction_rejected(self):
+        g = figure4_wtpg()
+        with pytest.raises(WTPGError):
+            estimate_contention(g, 99, [])
+
+    def test_missing_pair_for_implication_rejected(self):
+        g = WTPG()
+        g.add_transaction(1, 0)
+        g.add_transaction(2, 0)
+        with pytest.raises(WTPGError):
+            estimate_contention(g, 1, [(1, 2)])
+
+    def test_no_implications_returns_plain_critical_path(self):
+        g = WTPG()
+        g.add_transaction(1, 7)
+        g.add_transaction(2, 3)
+        assert estimate_contention(g, 1, []) == 7
+
+    def test_source_weights_participate(self):
+        g = figure4_wtpg()
+        g.set_source_weight(4, 50)
+        # Critical path now dominated by w(T0->T4) + w(T4->T6) = 60.
+        assert estimate_contention(g, 5, [(5, 6)]) == 60
+
+    def test_already_resolved_same_direction_is_fine(self):
+        g = figure4_wtpg()
+        g.resolve(5, 6)
+        assert estimate_contention(g, 5, [(5, 6)]) == 10

@@ -1,0 +1,76 @@
+"""Tests for the Experiment-4 hybrids CHAIN-C2PL and K2-C2PL."""
+
+import pytest
+
+from repro.core import Step, TransactionRuntime, TransactionSpec
+from repro.core.schedulers import ChainC2PL, Decision, KConflictC2PL
+
+
+def rt(tid, steps):
+    return TransactionRuntime(TransactionSpec(tid, steps))
+
+
+class TestChainC2PL:
+    def test_chain_form_admission_enforced(self):
+        sched = ChainC2PL()
+        # Build a two-node chain on P0, then try to attach to its middle.
+        assert sched.admit(rt(1, [Step.write(0, 1), Step.write(1, 1)])).admitted
+        assert sched.admit(rt(2, [Step.write(0, 1)])).admitted
+        assert sched.admit(rt(3, [Step.write(1, 1)])).admitted
+        # T4 conflicting with T1 (which already has degree 2) breaks chain-form.
+        response = sched.admit(rt(4, [Step.write(0, 1), Step.write(1, 1)]))
+        assert not response.admitted
+        assert "chain-form" in response.reason
+
+    def test_granting_is_plain_c2pl_not_weight_guided(self):
+        """Unlike CHAIN, CHAIN-C2PL grants first-come-first-served as long
+        as no deadlock is predicted — weights are never consulted."""
+        sched = ChainC2PL()
+        t1 = rt(1, [Step.write(0, 9), Step.write(1, 9)])   # heavy
+        t2 = rt(2, [Step.write(0, 1)])                      # light
+        sched.admit(t1)
+        sched.admit(t2)
+        # The heavy transaction asks first and gets the lock: no
+        # optimisation ever reorders it.
+        assert sched.request_lock(t1).granted
+        assert sched.request_lock(t2).decision is Decision.BLOCK
+
+    def test_deadlock_prediction_retained(self):
+        sched = ChainC2PL()
+        t1 = rt(1, [Step.write(0, 1), Step.write(1, 1)])
+        t2 = rt(2, [Step.write(1, 1), Step.write(0, 1)])
+        sched.admit(t1)
+        sched.admit(t2)
+        assert sched.request_lock(t1).granted
+        assert sched.request_lock(t2).decision is Decision.DELAY
+
+
+class TestKConflictC2PL:
+    def test_k_admission_enforced(self):
+        sched = KConflictC2PL(k=2)
+        for tid in (1, 2, 3):
+            assert sched.admit(rt(tid, [Step.write(0, 1)])).admitted
+        response = sched.admit(rt(4, [Step.write(0, 1)]))
+        assert not response.admitted
+        assert "K-conflict" in response.reason
+
+    def test_granting_is_plain_c2pl(self):
+        sched = KConflictC2PL(k=2)
+        t1 = rt(1, [Step.write(0, 9), Step.write(1, 9)])
+        t2 = rt(2, [Step.write(0, 1)])
+        sched.admit(t1)
+        sched.admit(t2)
+        assert sched.request_lock(t1).granted  # no E(q) reordering
+
+    def test_k_is_configurable(self):
+        sched = KConflictC2PL(k=0)
+        assert sched.admit(rt(1, [Step.write(0, 1)])).admitted
+        assert not sched.admit(rt(2, [Step.write(0, 1)])).admitted
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            KConflictC2PL(k=-1)
+
+    def test_names_for_reporting(self):
+        assert ChainC2PL().name == "CHAIN-C2PL"
+        assert KConflictC2PL().name == "K2-C2PL"

@@ -1,0 +1,152 @@
+"""Tests for the WTPG/lock-table consistency checker.
+
+Both directions: live schedulers must stay consistent mid-workload under
+random operation, and deliberately corrupted structures must be caught.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import LockTable, Step, TransactionSpec, WTPG
+from repro.core.builder import add_transaction
+from repro.core.invariants import check_consistency, find_violations
+from repro.core.schedulers import make_scheduler
+from repro.core.schedulers.base import Decision, WTPGScheduler
+from repro.core.transaction import TransactionRuntime
+from repro.errors import SchedulerError
+
+
+def consistent_state():
+    table, wtpg = LockTable(), WTPG()
+    specs = [
+        TransactionSpec(1, [Step.read(0, 1), Step.write(0, 1)]),
+        TransactionSpec(2, [Step.write(0, 4)]),
+        TransactionSpec(3, [Step.read(5, 2)]),
+    ]
+    for spec in specs:
+        table.register(spec)
+        add_transaction(wtpg, table, spec)
+    return table, wtpg
+
+
+class TestCleanState:
+    def test_fresh_state_is_consistent(self):
+        table, wtpg = consistent_state()
+        check_consistency(table, wtpg)
+
+    def test_grant_with_resolution_stays_consistent(self):
+        table, wtpg = consistent_state()
+        table.grant(1, 0)
+        wtpg.resolve(1, 2)  # holder-first
+        check_consistency(table, wtpg)
+
+    def test_empty_structures_consistent(self):
+        check_consistency(LockTable(), WTPG())
+
+
+class TestDetection:
+    def test_missing_node_detected(self):
+        table, wtpg = consistent_state()
+        wtpg.remove_transaction(3)
+        assert any("node set" in p for p in find_violations(table, wtpg))
+
+    def test_missing_pair_edge_detected(self):
+        table, wtpg = consistent_state()
+        wtpg.remove_transaction(2)
+        wtpg.add_transaction(2, 4)  # re-add node but lose its edges
+        problems = find_violations(table, wtpg)
+        assert any("missing pair edge" in p for p in problems)
+
+    def test_spurious_pair_edge_detected(self):
+        table, wtpg = consistent_state()
+        wtpg.ensure_pair(1, 3)  # T1 and T3 share no granule
+        problems = find_violations(table, wtpg)
+        assert any("without conflicting declarations" in p for p in problems)
+
+    def test_underweight_edge_detected(self):
+        table, wtpg = consistent_state()
+        wtpg.pair(1, 2).weight_ab = 0.0  # corrupt w(T1->T2)
+        assert any("below due" in p for p in find_violations(table, wtpg))
+
+    def test_unresolved_holder_detected(self):
+        table, wtpg = consistent_state()
+        table.grant(2, 0)  # T2 holds X on P0, pair (1,2) still unresolved
+        problems = find_violations(table, wtpg)
+        assert any("holder-first" in p for p in problems)
+
+    def test_cycle_detected(self):
+        # Three pairwise-conflicting writers resolved cyclically: legal at
+        # the WTPG level (pairs are independent) but an unavoidable
+        # deadlock — schedulers must never produce it.
+        table, wtpg = LockTable(), WTPG()
+        for tid in (1, 2, 3):
+            spec = TransactionSpec(tid, [Step.write(0, 1)])
+            table.register(spec)
+            add_transaction(wtpg, table, spec)
+        wtpg.resolve(1, 2)
+        wtpg.resolve(2, 3)
+        wtpg.resolve(3, 1)
+        assert any("cycle" in p for p in find_violations(table, wtpg))
+
+    def test_excess_source_weight_detected(self):
+        table, wtpg = consistent_state()
+        wtpg.set_source_weight(3, 99)
+        assert any("exceeds" in p for p in find_violations(table, wtpg))
+
+    def test_check_consistency_raises(self):
+        table, wtpg = consistent_state()
+        wtpg.set_source_weight(3, 99)
+        with pytest.raises(SchedulerError):
+            check_consistency(table, wtpg)
+
+
+@st.composite
+def operation_sequences(draw):
+    ops = []
+    for tid in range(1, draw(st.integers(min_value=2, max_value=6)) + 1):
+        steps = []
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            partition = draw(st.integers(min_value=0, max_value=3))
+            write = draw(st.booleans())
+            cost = draw(st.integers(min_value=1, max_value=4))
+            steps.append(Step.write(partition, cost) if write
+                         else Step.read(partition, cost))
+        ops.append(TransactionSpec(tid, steps))
+    return ops
+
+
+@pytest.mark.parametrize("name", ["C2PL", "CHAIN", "K2"])
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(specs=operation_sequences())
+def test_live_schedulers_stay_consistent_mid_workload(name, specs):
+    """Drive a scheduler step by step; check invariants after every op."""
+    scheduler = make_scheduler(name)
+    assert isinstance(scheduler, WTPGScheduler)
+    runtimes = [TransactionRuntime(spec) for spec in specs]
+    admitted = set()
+    now = 0.0
+    for _ in range(60):
+        progressed = False
+        for txn in runtimes:
+            now += 1
+            if txn.committed:
+                continue
+            if txn.tid not in admitted:
+                if scheduler.admit(txn, now).admitted:
+                    admitted.add(txn.tid)
+                    progressed = True
+                check_consistency(scheduler.table, scheduler.wtpg)
+                continue
+            if txn.finished_all_steps:
+                scheduler.commit(txn, now)
+                txn.commit_time = now
+                progressed = True
+            elif scheduler.request_lock(txn, now).decision is Decision.GRANT:
+                for _ in range(int(txn.step().cost)):
+                    scheduler.object_processed(txn)
+                txn.advance_step()
+                progressed = True
+            check_consistency(scheduler.table, scheduler.wtpg)
+        if not progressed and all(t.committed for t in runtimes):
+            break

@@ -1,0 +1,299 @@
+"""Scenario tests for K-WTPG (CC2): E-minimality granting, K-conflict."""
+
+import pytest
+
+from repro.core import Step, TransactionRuntime, TransactionSpec
+from repro.core.schedulers import Decision, KWTPGScheduler
+
+
+def rt(tid, steps):
+    return TransactionRuntime(TransactionSpec(tid, steps))
+
+
+class TestKConflictAdmission:
+    def test_within_k_admitted(self):
+        sched = KWTPGScheduler(k=2)
+        for tid in (1, 2, 3):
+            assert sched.admit(rt(tid, [Step.write(0, 1)])).admitted
+
+    def test_exceeding_k_rejected(self):
+        sched = KWTPGScheduler(k=2)
+        for tid in (1, 2, 3):
+            sched.admit(rt(tid, [Step.write(0, 1)]))
+        response = sched.admit(rt(4, [Step.write(0, 1)]))
+        assert not response.admitted
+        assert "K-conflict" in response.reason
+        assert 4 not in sched.wtpg
+        assert not sched.table.is_registered(4)
+
+    def test_k_zero_serializes_conflicts_entirely(self):
+        sched = KWTPGScheduler(k=0)
+        assert sched.admit(rt(1, [Step.write(0, 1)])).admitted
+        assert not sched.admit(rt(2, [Step.write(0, 1)])).admitted
+        assert sched.admit(rt(3, [Step.read(5, 1)])).admitted
+
+    def test_reads_do_not_conflict_for_k(self):
+        sched = KWTPGScheduler(k=0)
+        for tid in (1, 2, 3, 4):
+            assert sched.admit(rt(tid, [Step.read(0, 1)])).admitted
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            KWTPGScheduler(k=-1)
+
+    def test_k1_accepts_non_chain_form_wtpg(self):
+        """Section 3.3: "Even K-WTPG of K=1 accepts a WTPG which is not
+        a chain-form."  A conflict triangle (each declaration conflicting
+        with exactly one other) passes K=1 but fails chain-form."""
+        from repro.core.chain import is_chain_form
+        from repro.core.schedulers import ChainScheduler
+
+        def triangle_runtimes():
+            return [rt(1, [Step.write(0, 1), Step.write(2, 1)]),
+                    rt(2, [Step.write(0, 1), Step.write(1, 1)]),
+                    rt(3, [Step.write(1, 1), Step.write(2, 1)])]
+
+        k1 = KWTPGScheduler(k=1)
+        for txn in triangle_runtimes():
+            assert k1.admit(txn).admitted
+        assert not is_chain_form(k1.wtpg)
+
+        chain = ChainScheduler()
+        admitted = [chain.admit(txn).admitted
+                    for txn in triangle_runtimes()]
+        assert admitted == [True, True, False]  # CHAIN must reject one
+
+
+class TestEMinimalityGrant:
+    def make_asymmetric_trio(self):
+        """T9 holds X on P9; T2 declares P0 then P9, so T2 is already
+        fixed behind T9 (pair pre-resolved T9 -> T2 at admission).  T1
+        only wants P0.  Granting T2's P0 request chains T1 behind the
+        T9 -> T2 tail (E = 7); granting T1 first costs only E = 6, so
+        K-WTPG grants T1 and delays T2.
+
+        Two plain transactions racing for one partition produce an E-tie
+        (the critical path is a *makespan*: either order finishes the
+        batch at the same time) — the discriminating signal only appears
+        when one competitor drags an existing precedence tail.
+        """
+        sched = KWTPGScheduler(k=2)
+        t9 = rt(9, [Step.write(9, 5)])
+        assert sched.admit(t9).admitted
+        assert sched.request_lock(t9).granted      # T9 holds P9
+        t2 = rt(2, [Step.write(0, 2), Step.write(9, 1)])
+        t1 = rt(1, [Step.write(0, 1)])
+        assert sched.admit(t2).admitted            # pre-resolves T9 -> T2
+        assert sched.admit(t1).admitted
+        return sched, t1, t2, t9
+
+    def test_pair_preresolved_behind_holder(self):
+        sched, t1, t2, t9 = self.make_asymmetric_trio()
+        assert sched.wtpg.orientation(9, 2) == (9, 2)
+
+    def test_free_transaction_granted(self):
+        sched, t1, t2, t9 = self.make_asymmetric_trio()
+        assert sched.request_lock(t1).granted
+
+    def test_encumbered_transaction_delayed(self):
+        sched, t1, t2, t9 = self.make_asymmetric_trio()
+        response = sched.request_lock(t2)
+        assert response.decision is Decision.DELAY
+        assert "not minimal" in response.reason
+
+    def test_encumbered_granted_after_rival_commits(self):
+        sched, t1, t2, t9 = self.make_asymmetric_trio()
+        assert sched.request_lock(t1).granted
+        sched.object_processed(t1)
+        t1.advance_step()
+        sched.commit(t1)
+        assert sched.request_lock(t2).granted
+
+    def test_symmetric_race_is_a_tie_and_grants(self):
+        """Documented tie behaviour: with no precedence tails, either
+        order yields the same makespan, so E(q) == E(q') and the request
+        at hand is granted."""
+        sched = KWTPGScheduler(k=2)
+        t1 = rt(1, [Step.write(0, 1)])
+        t2 = rt(2, [Step.write(0, 4), Step.write(1, 6)])
+        sched.admit(t1)
+        sched.admit(t2)
+        assert sched.request_lock(t1).granted
+
+    def test_no_conflicts_grants_immediately(self):
+        sched = KWTPGScheduler(k=2)
+        t1 = rt(1, [Step.read(3, 2)])
+        sched.admit(t1)
+        assert sched.request_lock(t1).granted
+
+    def test_block_takes_priority_over_estimation(self):
+        sched = KWTPGScheduler(k=2)
+        t1 = rt(1, [Step.write(0, 1)])
+        t2 = rt(2, [Step.write(0, 1)])
+        sched.admit(t1)
+        sched.admit(t2)
+        sched.request_lock(t1)
+        response = sched.request_lock(t2)
+        assert response.decision is Decision.BLOCK
+
+
+class TestLivelockAvoidance:
+    def test_unreachable_rival_declarations_cannot_stall_everyone(self):
+        """Regression (found by hypothesis): T1 w(P0)->r(P0), T2 w(P0),
+        T3 r(P0:3).  T1's *second-step* r has the lowest E, but T1 cannot
+        issue it before its w — comparing against it livelocked all
+        three.  E-minimality must only consider each rival's earliest
+        pending conflicting declaration."""
+        sched = KWTPGScheduler(k=2)
+        t1 = rt(1, [Step.write(0, 1), Step.read(0, 1)])
+        t2 = rt(2, [Step.write(0, 1)])
+        t3 = rt(3, [Step.read(0, 3)])
+        for t in (t1, t2, t3):
+            assert sched.admit(t).admitted
+        decisions = [sched.request_lock(t).decision for t in (t1, t2, t3)]
+        assert Decision.GRANT in decisions
+
+    def test_property_driver_runs_the_trio_to_completion(self):
+        from tests.core.driver import run_logical
+        from repro.core import TransactionSpec
+
+        specs = [TransactionSpec(1, [Step.write(0, 1), Step.read(0, 1)]),
+                 TransactionSpec(2, [Step.write(0, 1)]),
+                 TransactionSpec(3, [Step.read(0, 3)])]
+        result = run_logical(KWTPGScheduler(k=2), specs)
+        assert sorted(result.commit_order) == [1, 2, 3]
+
+    def test_cross_partition_deferral_cycle_is_broken(self):
+        """Regression (found by hypothesis): T3 defers to T8's P0
+        declaration while T8 (and T7) defer to T3's P1 declaration —
+        a standoff across two granules that no weight adjustment can
+        break.  The deferral-cycle breaker must grant one of them."""
+        from tests.core.driver import run_logical
+        from repro.core import TransactionSpec
+
+        specs = [
+            TransactionSpec(1, [Step.read(0, 1)]),
+            TransactionSpec(2, [Step.read(0, 1)] * 4),
+            TransactionSpec(3, [Step.read(0, 1), Step.write(0, 1),
+                                Step.read(1, 1)]),
+            TransactionSpec(4, [Step.read(0, 1)]),
+            TransactionSpec(5, [Step.read(0, 1)]),
+            TransactionSpec(6, [Step.read(0, 1)]),
+            TransactionSpec(7, [Step.write(1, 1), Step.read(0, 1),
+                                Step.read(0, 1), Step.read(0, 1)]),
+            TransactionSpec(8, [Step.write(1, 1), Step.read(0, 2)]),
+        ]
+        result = run_logical(KWTPGScheduler(k=2), specs, max_passes=3000)
+        assert sorted(result.commit_order) == list(range(1, 9))
+
+
+class TestKCountModes:
+    def test_transaction_counting_is_looser_on_upgrades(self):
+        """Pattern1-style rivals (r then w on one partition) contribute
+        two conflicting declarations but one transaction."""
+
+        def admit_three(mode):
+            sched = KWTPGScheduler(k=2, k_count_mode=mode)
+            outcomes = []
+            for tid in (1, 2, 3):
+                outcomes.append(sched.admit(rt(
+                    tid, [Step.read(0, 1), Step.write(0, 1)])).admitted)
+            return outcomes
+
+        assert admit_three("transactions") == [True, True, True]
+        assert admit_three("declarations") == [True, True, False]
+
+    def test_unknown_mode_rejected(self):
+        from repro.core import LockTable, TransactionSpec
+        from repro.errors import LockTableError
+
+        table = LockTable()
+        table.register(TransactionSpec(1, [Step.write(0, 1)]))
+        decl = table.declarations_of(1)[0]
+        with pytest.raises(LockTableError):
+            table.conflict_count(decl, count="granules")
+
+
+class TestDeadlockPrediction:
+    def test_contradicting_grant_is_delayed(self):
+        A, B = 0, 1
+        sched = KWTPGScheduler(k=2)
+        t1 = rt(1, [Step.write(A, 1), Step.write(B, 1)])
+        t2 = rt(2, [Step.write(B, 1), Step.write(A, 1)])
+        sched.admit(t1)
+        sched.admit(t2)
+        assert sched.request_lock(t1).granted      # fixes T1 -> T2
+        response = sched.request_lock(t2)          # B grant implies T2 -> T1
+        assert response.decision is Decision.DELAY
+        assert sched.stats.deadlock_predictions >= 1
+
+
+class TestControlSaving:
+    def delayed_scenario(self, keeptime):
+        """The asymmetric trio: T2's P0 request is delayed (see above),
+        so re-issuing it exercises the E-cache."""
+        sched = KWTPGScheduler(k=2, keeptime=keeptime)
+        t9 = rt(9, [Step.write(9, 5)])
+        sched.admit(t9, now=0)
+        sched.request_lock(t9, now=0)
+        t2 = rt(2, [Step.write(0, 2), Step.write(9, 1)])
+        t1 = rt(1, [Step.write(0, 1)])
+        sched.admit(t2, now=0)
+        sched.admit(t1, now=0)
+        return sched, t1, t2
+
+    def test_e_values_cached_within_keeptime(self):
+        sched, t1, t2 = self.delayed_scenario(keeptime=5000)
+        first = sched.request_lock(t2, now=1)
+        assert first.decision is Decision.DELAY
+        calls_after_first = sched.stats.estimator_calls
+        assert first.cpu_cost > 0
+        # Same request again, nothing changed: cached, zero cost.
+        second = sched.request_lock(t2, now=2)
+        assert second.decision is Decision.DELAY
+        assert second.cpu_cost == 0.0
+        assert sched.stats.estimator_calls == calls_after_first
+
+    def test_new_precedence_edge_invalidates_cache(self):
+        sched = KWTPGScheduler(k=2, keeptime=50_000)
+        t1 = rt(1, [Step.write(0, 5), Step.write(1, 5)])
+        t2 = rt(2, [Step.write(0, 5)])
+        t3 = rt(3, [Step.write(1, 2)])
+        for t in (t1, t2, t3):
+            sched.admit(t, now=0)
+        sched.request_lock(t2, now=1)
+        calls = sched.stats.estimator_calls
+        # A grant elsewhere creates a precedence edge (T3 -> T1 on P1).
+        assert sched.request_lock(t3, now=2).granted
+        sched.request_lock(t2, now=3)
+        assert sched.stats.estimator_calls > calls
+
+    def test_keeptime_expiry_recomputes(self):
+        sched, t1, t2 = self.delayed_scenario(keeptime=100)
+        assert sched.request_lock(t2, now=1).decision is Decision.DELAY
+        calls = sched.stats.estimator_calls
+        response = sched.request_lock(t2, now=500)
+        assert response.decision is Decision.DELAY
+        assert sched.stats.estimator_calls > calls
+        assert response.cpu_cost > 0
+
+
+class TestWeightsDriveDecisions:
+    def test_progress_flips_the_preference(self):
+        """As the heavy transaction nears completion its dues shrink;
+        eventually it becomes the minimal-E competitor."""
+        sched = KWTPGScheduler(k=2, keeptime=0)  # always recompute
+        t1 = rt(1, [Step.write(1, 8), Step.write(0, 1)])
+        t2 = rt(2, [Step.write(0, 2), Step.write(2, 2)])
+        sched.admit(t1)
+        sched.admit(t2)
+        assert sched.request_lock(t1).granted  # P1: no conflict
+        # T1 processes its 8 objects on P1: its remaining work drops to 2.
+        for _ in range(8):
+            sched.object_processed(t1)
+        t1.advance_step()
+        # Now both compete for P0: T1's due there is 1, T2's is 4.
+        r1 = sched.request_lock(t1)
+        r2 = sched.request_lock(t2)
+        assert r1.granted
+        assert r2.decision in (Decision.DELAY, Decision.BLOCK)

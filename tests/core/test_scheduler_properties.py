@@ -1,0 +1,134 @@
+"""Cross-scheduler properties on randomized workloads.
+
+Every *correct* scheduler (everything except NODC) must, for any batch of
+pre-declared transactions:
+
+* make progress — the logical driver commits every transaction without
+  deadlock or livelock;
+* produce a conflict-serializable history with non-overlapping
+  conflicting lock holds;
+* never abort mid-flight (BATs are too expensive to abort: admission
+  rejection and request delay are the only control actions).
+
+NODC must *violate* serializability on a contended workload — which also
+proves the checker can detect violations.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import Step, TransactionSpec
+from repro.core.history import History
+from repro.core.schedulers import make_scheduler
+from repro.errors import SerializationViolationError
+
+from tests.core.driver import run_logical
+
+CORRECT_SCHEDULERS = ["CHAIN", "K2", "ASL", "C2PL", "CHAIN-C2PL", "K2-C2PL"]
+
+
+@st.composite
+def workloads(draw):
+    """A batch of BATs over a small partition set (contention is likely)."""
+    num_txns = draw(st.integers(min_value=1, max_value=8))
+    num_partitions = draw(st.integers(min_value=1, max_value=5))
+    specs = []
+    for tid in range(1, num_txns + 1):
+        num_steps = draw(st.integers(min_value=1, max_value=4))
+        steps = []
+        for _ in range(num_steps):
+            partition = draw(st.integers(min_value=0,
+                                         max_value=num_partitions - 1))
+            write = draw(st.booleans())
+            cost = draw(st.integers(min_value=1, max_value=5))
+            steps.append(Step.write(partition, cost) if write
+                         else Step.read(partition, cost))
+        specs.append(TransactionSpec(tid, steps))
+    return specs
+
+
+@pytest.mark.parametrize("name", CORRECT_SCHEDULERS)
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(specs=workloads())
+def test_all_transactions_commit_and_history_serializable(name, specs):
+    scheduler = make_scheduler(name)
+    result = run_logical(scheduler, specs)
+    assert sorted(result.commit_order) == sorted(s.tid for s in specs)
+    result.history.check_lock_exclusion()
+    order = result.history.check_serializable()
+    assert set(order) <= {s.tid for s in specs}
+
+
+@pytest.mark.parametrize("name", CORRECT_SCHEDULERS)
+def test_pathological_hot_partition(name):
+    """Everyone writes the same partition: maximal contention."""
+    specs = [TransactionSpec(tid, [Step.write(0, 2)]) for tid in range(1, 7)]
+    scheduler = make_scheduler(name)
+    result = run_logical(scheduler, specs)
+    assert len(result.commit_order) == 6
+    result.history.check_serializable()
+
+
+@pytest.mark.parametrize("name", CORRECT_SCHEDULERS)
+def test_upgrade_storm(name):
+    """Everyone reads-then-writes the same partition (upgrade deadlock
+    bait for naive 2PL)."""
+    specs = [TransactionSpec(tid, [Step.read(0, 1), Step.write(0, 1)])
+             for tid in range(1, 5)]
+    scheduler = make_scheduler(name)
+    result = run_logical(scheduler, specs)
+    assert len(result.commit_order) == 4
+    result.history.check_serializable()
+
+
+@pytest.mark.parametrize("name", CORRECT_SCHEDULERS)
+def test_cross_deadlock_pattern(name):
+    """Opposite-order writers (the canonical 2PL deadlock)."""
+    specs = [
+        TransactionSpec(1, [Step.write(0, 1), Step.write(1, 1)]),
+        TransactionSpec(2, [Step.write(1, 1), Step.write(0, 1)]),
+        TransactionSpec(3, [Step.write(0, 1), Step.write(1, 1)]),
+    ]
+    scheduler = make_scheduler(name)
+    result = run_logical(scheduler, specs)
+    assert len(result.commit_order) == 3
+    result.history.check_serializable()
+
+
+def test_nodc_violates_serializability_on_interleaved_writers():
+    """NODC interleaves conflicting writers; the checker must notice.
+
+    This doubles as a self-test of the History validator.
+    """
+    history = History()
+    from repro.core.transaction import LockMode
+    # Two 'transactions' holding overlapping X locks on partition 0.
+    history.record(1, 0, LockMode.EXCLUSIVE, granted_at=0, released_at=10)
+    history.record(2, 0, LockMode.EXCLUSIVE, granted_at=5, released_at=15)
+    with pytest.raises(SerializationViolationError):
+        history.check_lock_exclusion()
+
+
+def test_history_detects_precedence_cycle():
+    history = History()
+    from repro.core.transaction import LockMode
+    # T1 before T2 on P0, T2 before T1 on P1: a cycle, but no overlap.
+    history.record(1, 0, LockMode.EXCLUSIVE, 0, 10)
+    history.record(2, 0, LockMode.EXCLUSIVE, 10, 20)
+    history.record(2, 1, LockMode.EXCLUSIVE, 0, 10)
+    history.record(1, 1, LockMode.EXCLUSIVE, 10, 20)
+    history.check_lock_exclusion()  # intervals are fine
+    with pytest.raises(SerializationViolationError, match="cycle"):
+        history.check_serializable()
+
+
+def test_history_accepts_serial_run():
+    history = History()
+    from repro.core.transaction import LockMode
+    history.record(1, 0, LockMode.EXCLUSIVE, 0, 10)
+    history.record(2, 0, LockMode.EXCLUSIVE, 10, 20)
+    history.record(2, 1, LockMode.SHARED, 10, 20)
+    history.record(3, 1, LockMode.SHARED, 15, 25)  # S-S may overlap
+    order = history.check_serializable()
+    assert order.index(1) < order.index(2)

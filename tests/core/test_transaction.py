@@ -1,0 +1,152 @@
+"""Unit tests for the BAT transaction model (Section 2.2)."""
+
+import pytest
+
+from repro.core import LockMode, Step, TransactionRuntime, TransactionSpec
+from repro.errors import WorkloadError
+
+
+def figure1_t1():
+    """T1: r1(A:1) -> r1(B:3) -> w1(A:1) from Figure 1."""
+    return TransactionSpec(1, [Step.read(0, 1), Step.read(1, 3), Step.write(0, 1)])
+
+
+class TestLockMode:
+    def test_shared_does_not_conflict_with_shared(self):
+        assert not LockMode.SHARED.conflicts_with(LockMode.SHARED)
+
+    def test_exclusive_conflicts_with_everything(self):
+        assert LockMode.EXCLUSIVE.conflicts_with(LockMode.SHARED)
+        assert LockMode.EXCLUSIVE.conflicts_with(LockMode.EXCLUSIVE)
+        assert LockMode.SHARED.conflicts_with(LockMode.EXCLUSIVE)
+
+    def test_conflict_symmetry(self):
+        for a in LockMode:
+            for b in LockMode:
+                assert a.conflicts_with(b) == b.conflicts_with(a)
+
+
+class TestStep:
+    def test_read_write_constructors(self):
+        r = Step.read(3, 5.0)
+        w = Step.write(3, 1.0)
+        assert r.mode is LockMode.SHARED
+        assert w.mode is LockMode.EXCLUSIVE
+
+    def test_declared_cost_defaults_to_actual(self):
+        step = Step.read(0, 2.5)
+        assert step.declared_cost == 2.5
+
+    def test_declared_cost_can_differ(self):
+        step = Step.read(0, 2.0, declared_cost=3.0)
+        assert step.cost == 2.0
+        assert step.declared_cost == 3.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(WorkloadError):
+            Step.read(0, -1)
+        with pytest.raises(WorkloadError):
+            Step.read(0, 1, declared_cost=-0.5)
+
+    def test_fractional_costs_allowed(self):
+        # Pattern1 contains w(F1:0.2).
+        assert Step.write(0, 0.2).cost == 0.2
+
+    def test_str_uses_paper_notation(self):
+        assert str(Step.read(7, 5)) == "r(P7:5)"
+        assert str(Step.write(2, 0.2)) == "w(P2:0.2)"
+
+
+class TestTransactionSpec:
+    def test_due_suffix_sums(self):
+        # T1 of Figure 1: costs 1, 3, 1 -> dues 5, 4, 1 (Example 3.1 sets
+        # w(T0->T1) = 5 at T1's start).
+        spec = figure1_t1()
+        assert spec.due(0) == 5
+        assert spec.due(1) == 4
+        assert spec.due(2) == 1
+
+    def test_due_last_step_equals_cost(self):
+        spec = figure1_t1()
+        assert spec.due(len(spec) - 1) == spec.steps[-1].declared_cost
+
+    def test_declared_total_is_due_zero(self):
+        spec = figure1_t1()
+        assert spec.declared_total == spec.due(0) == 5
+
+    def test_actual_vs_declared_dues(self):
+        spec = TransactionSpec(9, [
+            Step.read(0, 2.0, declared_cost=4.0),
+            Step.write(1, 1.0, declared_cost=1.5),
+        ])
+        assert spec.declared_total == 5.5
+        assert spec.actual_total == 3.0
+        assert spec.due(1) == 1.5
+        assert spec.actual_due(1) == 1.0
+
+    def test_empty_steps_rejected(self):
+        with pytest.raises(WorkloadError):
+            TransactionSpec(1, [])
+
+    def test_partitions_in_first_access_order(self):
+        spec = figure1_t1()
+        assert spec.partitions == (0, 1)
+
+    def test_strongest_mode(self):
+        spec = figure1_t1()
+        assert spec.strongest_mode(0) is LockMode.EXCLUSIVE  # r then w
+        assert spec.strongest_mode(1) is LockMode.SHARED
+        assert spec.strongest_mode(99) is None
+
+    def test_repr_shows_step_sequence(self):
+        assert "r(P0:1) -> r(P1:3) -> w(P0:1)" in repr(figure1_t1())
+
+
+class TestTransactionRuntime:
+    def test_initial_remaining_is_declared_total(self):
+        rt = TransactionRuntime(figure1_t1(), arrival_time=10.0)
+        assert rt.remaining_declared == 5
+
+    def test_object_processing_decrements(self):
+        rt = TransactionRuntime(figure1_t1())
+        rt.note_object_processed()
+        rt.note_object_processed(0.5)
+        assert rt.remaining_declared == 3.5
+
+    def test_remaining_clamped_at_zero(self):
+        rt = TransactionRuntime(figure1_t1())
+        rt.note_object_processed(100)
+        assert rt.remaining_declared == 0.0
+
+    def test_step_advancement(self):
+        rt = TransactionRuntime(figure1_t1())
+        assert rt.step().partition == 0
+        rt.advance_step()
+        assert rt.step().partition == 1
+        rt.advance_step()
+        rt.advance_step()
+        assert rt.finished_all_steps
+
+    def test_advance_past_end_rejected(self):
+        rt = TransactionRuntime(figure1_t1())
+        for _ in range(3):
+            rt.advance_step()
+        with pytest.raises(WorkloadError):
+            rt.advance_step()
+
+    def test_reset_for_retry_restores_state_and_counts_attempts(self):
+        rt = TransactionRuntime(figure1_t1())
+        rt.advance_step()
+        rt.note_object_processed(2)
+        rt.reset_for_retry()
+        assert rt.current_step == 0
+        assert rt.remaining_declared == 5
+        assert rt.attempts == 1
+
+    def test_response_time(self):
+        rt = TransactionRuntime(figure1_t1(), arrival_time=100.0)
+        with pytest.raises(WorkloadError):
+            rt.response_time()
+        rt.commit_time = 350.0
+        assert rt.response_time() == 250.0
+        assert rt.committed

@@ -1,0 +1,132 @@
+"""Property-based tests on WTPG invariants under random operations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import WTPG
+from repro.errors import WTPGError
+
+
+@st.composite
+def wtpg_instances(draw, max_nodes=8):
+    """A random WTPG with some pairs, some resolved (acyclically)."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    g = WTPG()
+    for tid in range(1, n + 1):
+        g.add_transaction(tid, draw(st.floats(0, 20)))
+    possible_pairs = [(a, b) for a in range(1, n + 1)
+                      for b in range(a + 1, n + 1)]
+    for a, b in possible_pairs:
+        if not draw(st.booleans()):
+            continue
+        edge = g.ensure_pair(a, b)
+        edge.raise_weight_to(b, draw(st.floats(0, 10)))
+        edge.raise_weight_to(a, draw(st.floats(0, 10)))
+        # Resolve some pairs low->high only: guaranteed acyclic.
+        if draw(st.booleans()):
+            g.resolve(a, b)
+    return g
+
+
+@settings(max_examples=150, deadline=None)
+@given(wtpg_instances())
+def test_critical_path_at_least_max_source_weight(g):
+    length = g.critical_path_length()
+    assert length >= max((g.source_weight(t) for t in g.transactions),
+                         default=0.0) - 1e-9
+
+
+@settings(max_examples=150, deadline=None)
+@given(wtpg_instances())
+def test_copy_equivalence(g):
+    clone = g.copy()
+    assert clone.transactions == g.transactions
+    assert clone.critical_path_length() == pytest.approx(
+        g.critical_path_length())
+    for edge in g.pairs():
+        other = clone.pair(edge.a, edge.b)
+        assert other is not None and other is not edge
+        assert other.resolved_to == edge.resolved_to
+
+
+@settings(max_examples=150, deadline=None)
+@given(wtpg_instances())
+def test_removing_a_node_never_increases_critical_path(g):
+    """Nodes only contribute paths; dropping one cannot lengthen any."""
+    before = g.critical_path_length()
+    for tid in sorted(g.transactions):
+        clone = g.copy()
+        clone.remove_transaction(tid)
+        assert clone.critical_path_length() <= before + 1e-9
+
+
+@settings(max_examples=150, deadline=None)
+@given(wtpg_instances(), st.floats(0.1, 5))
+def test_raising_a_source_weight_is_monotone(g, extra):
+    before = g.critical_path_length()
+    tids = sorted(g.transactions)
+    if not tids:
+        return
+    target = tids[0]
+    g.set_source_weight(target, g.source_weight(target) + extra)
+    assert g.critical_path_length() >= before - 1e-9
+
+
+@settings(max_examples=150, deadline=None)
+@given(wtpg_instances())
+def test_resolving_an_edge_is_monotone_on_critical_path(g):
+    """Unresolved edges are ignored; fixing one can only add paths."""
+    before = g.critical_path_length()
+    for edge in g.unresolved_pairs():
+        clone = g.copy()
+        clone.resolve(edge.a, edge.b)
+        if clone.has_precedence_cycle():
+            continue
+        assert clone.critical_path_length() >= before - 1e-9
+
+
+@settings(max_examples=150, deadline=None)
+@given(wtpg_instances())
+def test_ancestors_descendants_are_consistent(g):
+    for tid in g.transactions:
+        for ancestor in g.ancestors(tid):
+            assert tid in g.descendants(ancestor)
+        for descendant in g.descendants(tid):
+            assert tid in g.ancestors(descendant)
+
+
+@settings(max_examples=100, deadline=None)
+@given(wtpg_instances())
+def test_successor_adjacency_matches_pair_scan(g):
+    """The incremental _succ/_pred caches agree with a full pair scan."""
+    for tid in g.transactions:
+        scanned_succ = set()
+        scanned_pred = set()
+        for other in g.conflict_neighbors(tid):
+            edge = g.pair(tid, other)
+            if edge.resolved and edge.resolved_to == other:
+                scanned_succ.add(other)
+            elif edge.resolved and edge.resolved_to == tid:
+                scanned_pred.add(other)
+        assert g.successors(tid) == scanned_succ
+        assert g.predecessors(tid) == scanned_pred
+
+
+@settings(max_examples=100, deadline=None)
+@given(wtpg_instances())
+def test_creates_cycle_probe_matches_copy_and_resolve(g):
+    """The copy-free cycle probe agrees with actually resolving."""
+    tids = sorted(g.transactions)
+    for edge in g.unresolved_pairs():
+        probe = g.creates_cycle_from(edge.a, [edge.b])
+        clone = g.copy()
+        clone.resolve(edge.a, edge.b)
+        assert probe == clone.has_precedence_cycle()
+
+
+@settings(max_examples=100, deadline=None)
+@given(wtpg_instances())
+def test_decrement_source_floors_at_zero(g):
+    for tid in sorted(g.transactions):
+        g.decrement_source(tid, 1e6)
+        assert g.source_weight(tid) == 0.0

@@ -1,0 +1,63 @@
+"""Tests for CSV export of experiment results."""
+
+import csv
+
+import pytest
+
+from repro.experiments import (ExperimentConfig, run_experiment1,
+                               run_experiment2, run_experiment4)
+from repro.experiments.export import (export_experiment1,
+                                      export_experiment2,
+                                      export_experiment4)
+
+TINY = dict(sim_clocks=40_000.0, seed=3, arrival_rates=(0.3, 0.5))
+
+
+def read_csv(path):
+    with open(path) as handle:
+        return list(csv.DictReader(handle))
+
+
+class TestExport1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment1(ExperimentConfig(
+            schedulers=("NODC", "ASL"), **TINY))
+
+    def test_row_per_point(self, result, tmp_path):
+        path = tmp_path / "exp1.csv"
+        count = export_experiment1(result, path)
+        rows = read_csv(path)
+        assert count == len(rows) == 4  # 2 schedulers x 2 rates
+
+    def test_columns_and_values(self, result, tmp_path):
+        path = tmp_path / "exp1.csv"
+        export_experiment1(result, path)
+        rows = read_csv(path)
+        assert set(rows[0]) == {"scheduler", "arrival_rate_tps",
+                                "mean_rt_seconds", "throughput_tps",
+                                "dn_utilization", "cn_utilization",
+                                "commits"}
+        assert {row["scheduler"] for row in rows} == {"NODC", "ASL"}
+        assert all(float(row["throughput_tps"]) >= 0 for row in rows)
+
+
+class TestExport2And4:
+    def test_experiment2_long_form(self, tmp_path):
+        result = run_experiment2(
+            ExperimentConfig(schedulers=("ASL",), **TINY),
+            num_hots_values=(4, 8))
+        path = tmp_path / "exp2.csv"
+        count = export_experiment2(result, path)
+        rows = read_csv(path)
+        assert count == len(rows) == 4  # 2 hots x 1 scheduler x 2 rates
+        assert {row["num_hots"] for row in rows} == {"4", "8"}
+
+    def test_experiment4_includes_sigma(self, tmp_path):
+        result = run_experiment4(
+            ExperimentConfig(schedulers=("K2",), **TINY),
+            sigmas=(0.0, 1.0))
+        path = tmp_path / "exp4.csv"
+        export_experiment4(result, path)
+        rows = read_csv(path)
+        assert {row["sigma"] for row in rows} == {"0.0", "1.0"}

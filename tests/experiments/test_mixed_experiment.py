@@ -1,0 +1,53 @@
+"""Tests for the mixed-service extension experiment."""
+
+import pytest
+
+from repro.experiments.mixed import (MixedExperimentResult, report_mixed,
+                                     run_mixed_experiment)
+
+TINY = dict(sim_clocks=100_000.0, arrival_rate_tps=2.0, seed=2)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_mixed_experiment(bat_fractions=(0.0, 0.2),
+                                schedulers=("C2PL", "K2"), **TINY)
+
+
+class TestRun:
+    def test_matrix_complete(self, result):
+        assert set(result.metrics) == {"C2PL", "K2"}
+        assert set(result.metrics["K2"]) == {0.0, 0.2}
+
+    def test_short_rt_present_everywhere(self, result):
+        for scheduler in result.schedulers:
+            for fraction in result.bat_fractions:
+                assert result.short_rt(scheduler, fraction) is not None
+
+    def test_bat_rt_only_when_bats_present(self, result):
+        assert result.bat_rt("K2", 0.0) is None
+        assert result.bat_rt("K2", 0.2) is not None
+
+    def test_bats_inflate_short_rt(self, result):
+        for scheduler in result.schedulers:
+            inflation = result.short_rt_inflation(scheduler)
+            assert inflation is not None
+            assert inflation > 1.5, scheduler
+
+    def test_bat_rt_far_above_short_rt(self, result):
+        for scheduler in result.schedulers:
+            assert (result.bat_rt(scheduler, 0.2)
+                    > result.short_rt(scheduler, 0.2))
+
+
+class TestReport:
+    def test_report_renders(self, result):
+        text = report_mixed(result)
+        assert "BAT share" in text
+        assert "inflates" in text
+        assert "K2" in text
+
+    def test_table_rows_shape(self, result):
+        rows = result.table_rows()
+        assert len(rows) == 4  # 2 schedulers x 2 fractions
+        assert rows[0][0] == "C2PL"

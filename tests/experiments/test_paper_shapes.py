@@ -1,0 +1,143 @@
+"""Automated checks of the paper's qualitative results (scaled runs).
+
+These are the scientific regression tests: each asserts one ordering or
+ratio the paper reports, on runs scaled to ~200k clocks so the whole
+module stays under a minute.  Full-fidelity numbers live in
+EXPERIMENTS.md; if an implementation change breaks one of these, the
+reproduction itself has regressed.
+"""
+
+import pytest
+
+from repro import SimulationParameters, run_simulation
+from repro.workloads import (pattern1, pattern1_catalog, pattern2,
+                             pattern2_catalog, pattern3, pattern3_catalog)
+
+CLOCKS = 200_000
+SEED = 1
+
+
+def tps(scheduler, workload, catalog, rate, num_partitions, seed=SEED):
+    params = SimulationParameters(scheduler=scheduler, arrival_rate_tps=rate,
+                                  sim_clocks=CLOCKS, seed=seed,
+                                  num_partitions=num_partitions)
+    return run_simulation(params, workload, catalog=catalog
+                          ).metrics.throughput_tps
+
+
+@pytest.fixture(scope="module")
+def exp1_tps():
+    """Pattern1 at a contended rate, one point per scheduler."""
+    return {name: tps(name, pattern1(16), pattern1_catalog(), 0.6, 16)
+            for name in ("ASL", "C2PL", "CHAIN", "K2", "NODC")}
+
+
+class TestExperiment1Shape:
+    def test_good_schedulers_beat_c2pl_strongly(self, exp1_tps):
+        """Paper: ASL/CHAIN/K2 at 1.9-2.0x C2PL (blocking case)."""
+        for name in ("ASL", "CHAIN", "K2"):
+            assert exp1_tps[name] > 1.5 * exp1_tps["C2PL"], name
+
+    def test_wtpg_schedulers_track_asl(self, exp1_tps):
+        """Paper: CHAIN and K2 avoid chains of blocking as well as ASL."""
+        for name in ("CHAIN", "K2"):
+            assert exp1_tps[name] > 0.8 * exp1_tps["ASL"], name
+
+    def test_nodc_upper_bounds(self, exp1_tps):
+        best_real = max(v for k, v in exp1_tps.items() if k != "NODC")
+        assert exp1_tps["NODC"] >= best_real - 0.05
+
+
+@pytest.fixture(scope="module")
+def exp2_small_hot_set():
+    """Pattern2 at NumHots=4 (intense hot-set contention)."""
+    return {name: tps(name, pattern2(num_hots=4),
+                      pattern2_catalog(num_hots=4), 0.9, 12)
+            for name in ("ASL", "C2PL", "CHAIN", "K2")}
+
+
+@pytest.fixture(scope="module")
+def exp2_large_hot_set():
+    """Pattern2 at NumHots=16 (milder contention)."""
+    return {name: tps(name, pattern2(num_hots=16),
+                      pattern2_catalog(num_hots=16), 0.9, 24)
+            for name in ("ASL", "C2PL", "CHAIN", "K2")}
+
+
+class TestExperiment2Shape:
+    def test_k2_best_on_hot_sets(self, exp2_small_hot_set):
+        """Paper: K2 performs best (no WTPG shape constraint)."""
+        k2 = exp2_small_hot_set["K2"]
+        for name in ("ASL", "CHAIN"):
+            assert k2 > exp2_small_hot_set[name], name
+
+    def test_asl_worst_on_small_hot_set(self, exp2_small_hot_set):
+        """Paper: ASL starts the fewest transactions, lowest throughput."""
+        asl = exp2_small_hot_set["ASL"]
+        for name in ("C2PL", "CHAIN", "K2"):
+            assert asl < exp2_small_hot_set[name], name
+
+    def test_chain_recovers_on_larger_hot_set(self, exp2_small_hot_set,
+                                              exp2_large_hot_set):
+        """Paper: CHAIN's chain-form penalty fades as NumHots grows;
+        at NumHots=16 both WTPG schedulers beat C2PL."""
+        assert exp2_large_hot_set["CHAIN"] > exp2_large_hot_set["C2PL"]
+        assert exp2_large_hot_set["K2"] > exp2_large_hot_set["C2PL"]
+        small_gap = (exp2_small_hot_set["K2"]
+                     - exp2_small_hot_set["CHAIN"])
+        large_gap = (exp2_large_hot_set["K2"]
+                     - exp2_large_hot_set["CHAIN"])
+        assert large_gap < small_gap
+
+
+class TestExperiment3Shape:
+    def test_c2pl_sensitive_to_blocking_time(self):
+        """Paper: Pattern3's longer blocking collapses C2PL ~30 % below
+        its Pattern2 value at the same NumHots."""
+        p2 = tps("C2PL", pattern2(num_hots=8), pattern2_catalog(num_hots=8),
+                 0.9, 16)
+        p3 = tps("C2PL", pattern3(num_hots=8), pattern3_catalog(num_hots=8),
+                 0.9, 16)
+        assert p3 < p2
+
+    def test_wtpg_schedulers_stay_ahead_on_pattern3(self):
+        values = {name: tps(name, pattern3(num_hots=8),
+                            pattern3_catalog(num_hots=8), 0.9, 16)
+                  for name in ("ASL", "C2PL", "CHAIN", "K2")}
+        for winner in ("CHAIN", "K2"):
+            for loser in ("ASL", "C2PL"):
+                assert values[winner] > values[loser], (winner, loser)
+
+
+class TestExperiment4Shape:
+    def test_wtpg_schedulers_survive_bad_estimates(self):
+        """Paper: even at sigma = 1 both stay far above C2PL."""
+        c2pl = tps("C2PL", pattern1(16), pattern1_catalog(), 0.6, 16)
+        for name in ("CHAIN", "K2"):
+            noisy = tps(name, pattern1(16, error_sigma=1.0),
+                        pattern1_catalog(), 0.6, 16)
+            assert noisy > 1.3 * c2pl, name
+
+    def test_degradation_is_bounded(self):
+        """Paper: CHAIN loses ~4.6 %, K2 ~13.8 % at sigma = 1; allow a
+        generous band for the scaled horizon."""
+        for name in ("CHAIN", "K2"):
+            exact = tps(name, pattern1(16), pattern1_catalog(), 0.6, 16)
+            noisy = tps(name, pattern1(16, error_sigma=1.0),
+                        pattern1_catalog(), 0.6, 16)
+            loss = 1 - noisy / exact
+            assert loss < 0.35, name
+
+    def test_admission_constraints_alone_beat_plain_c2pl(self):
+        """Paper Figure 10's lower bounds: both hybrids sit above plain
+        C2PL (their admission constraints bound the blocking chains).
+
+        The paper's *gap between* the two hybrids (CHAIN-C2PL 0.58 vs
+        K2-C2PL 0.36 TPS) only emerges at the RT = 70 s congestion
+        regime of full-length runs — see EXPERIMENTS.md — so this scaled
+        test asserts only the part visible at 200k clocks.
+        """
+        c2pl = tps("C2PL", pattern1(16), pattern1_catalog(), 0.6, 16)
+        for name in ("CHAIN-C2PL", "K2-C2PL"):
+            hybrid = tps(name, pattern1(16), pattern1_catalog(), 0.6, 16)
+            assert hybrid > c2pl, name

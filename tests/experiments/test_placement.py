@@ -1,0 +1,51 @@
+"""Tests for the placement (declustering) extension experiment."""
+
+import pytest
+
+from repro.experiments.placement import (PlacementExperimentResult,
+                                         report_placement,
+                                         run_placement_experiment)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_placement_experiment(schedulers=("K2", "NODC"),
+                                    arrival_rate_tps=0.9,
+                                    sim_clocks=150_000, seed=2)
+
+
+class TestRun:
+    def test_matrix_complete(self, result):
+        assert set(result.metrics) == {"K2", "NODC"}
+        for scheduler in result.metrics:
+            assert set(result.metrics[scheduler]) == {
+                "range-partitioned", "declustered"}
+
+    def test_declustering_speeds_up_k2(self, result):
+        assert result.speedup("K2") > 1.2
+
+    def test_useful_utilization_rises(self, result):
+        ranged = result.useful_utilization("K2", "range-partitioned")
+        spread = result.useful_utilization("K2", "declustered")
+        assert spread > ranged
+        assert spread > 0.85  # the paper's >90 % territory
+
+    def test_missing_nodc_raises(self):
+        bare = PlacementExperimentResult(0.9, ("K2",))
+        bare.metrics["K2"] = {}
+        with pytest.raises(KeyError):
+            bare.useful_utilization("K2", "declustered")
+
+
+class TestReport:
+    def test_report_renders(self, result):
+        text = report_placement(result)
+        assert "placement" in text
+        assert "declustering x" in text
+        assert "useful utilization" in text
+
+    def test_table_rows(self, result):
+        rows = result.table_rows()
+        assert len(rows) == 4
+        assert {row[1] for row in rows} == {"range-partitioned",
+                                            "declustered"}

@@ -1,0 +1,48 @@
+"""Hypothesis sweep over the whole machine: accounting invariants.
+
+Any (scheduler, arrival rate, seed) combination must satisfy basic
+bookkeeping laws.  Runs are kept tiny; the value is breadth across the
+configuration space, not statistical quality.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import SimulationParameters, run_simulation
+from repro.workloads import pattern1, pattern1_catalog
+
+SCHEDULERS = ["ASL", "C2PL", "CHAIN", "K2", "NODC", "2PL", "WAIT-DIE",
+              "CHAIN-C2PL", "K2-C2PL"]
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(scheduler=st.sampled_from(SCHEDULERS),
+       rate=st.floats(min_value=0.1, max_value=1.2),
+       seed=st.integers(min_value=0, max_value=1000))
+def test_accounting_invariants(scheduler, rate, seed):
+    params = SimulationParameters(scheduler=scheduler,
+                                  arrival_rate_tps=rate,
+                                  sim_clocks=60_000, seed=seed,
+                                  num_partitions=16)
+    metrics = run_simulation(params, pattern1(),
+                             catalog=pattern1_catalog()).metrics
+
+    assert 0 <= metrics.commits <= metrics.arrivals
+    assert 0 <= metrics.dn_utilization <= 1.0
+    assert 0 <= metrics.cn_utilization <= 1.0
+    assert metrics.throughput_tps >= 0
+    assert metrics.lock_retries >= 0
+    assert metrics.wasted_objects >= 0
+    if scheduler not in ("2PL", "WAIT-DIE"):
+        assert metrics.aborts == 0
+        assert metrics.wasted_objects == 0
+    if metrics.commits:
+        # Pattern1 needs at least 7.2 committed objects' worth of time.
+        assert metrics.mean_response_time >= 7200
+        # Each commit processed 7.2 objects in >= 8 quanta (messages),
+        # wasted work adds more.
+        assert metrics.weight_messages >= 8 * metrics.commits
+    stats = metrics.scheduler_stats
+    assert stats["commits"] == metrics.commits
+    assert stats["grants"] >= 0

@@ -1,0 +1,126 @@
+"""Focused tests of the control node: CPU costing and queueing."""
+
+import pytest
+
+from repro import SimulationParameters
+from repro.core import Step, TransactionRuntime, TransactionSpec
+from repro.core.history import History
+from repro.core.schedulers import make_scheduler
+from repro.engine import Environment
+from repro.machine import Catalog, ControlNode, DataNode
+from repro.metrics import MetricsCollector
+
+
+def build(scheduler_name="C2PL", **param_overrides):
+    params = SimulationParameters(scheduler=scheduler_name,
+                                  num_partitions=8, **param_overrides)
+    env = Environment()
+    catalog = Catalog.uniform(8, 5.0, params.num_nodes)
+    nodes = [DataNode(env, i, params.obj_time)
+             for i in range(params.num_nodes)]
+    scheduler = make_scheduler(scheduler_name, **params.scheduler_kwargs())
+    metrics = MetricsCollector()
+    cn = ControlNode(env, params, scheduler, catalog, nodes, metrics,
+                     history=History())
+    return env, cn, metrics
+
+
+def txn(tid, steps, arrival=0.0):
+    return TransactionRuntime(TransactionSpec(tid, steps),
+                              arrival_time=arrival)
+
+
+class TestSingleTransaction:
+    def test_lifecycle_times_add_up(self):
+        env, cn, metrics = build(startup_time=20, commit_time=50,
+                                 admission_time=5, dd_time=5)
+        t = txn(1, [Step.read(0, 2)])
+        env.process(cn.transaction_process(t))
+        env.run()
+        # admission 5 + startup 20 + lock 5 + work 2000 + commit 50.
+        assert env.now == 2080
+        assert t.commit_time == 2080
+        assert metrics.commits == 1
+
+    def test_active_transactions_gauge(self):
+        env, cn, _ = build()
+        t = txn(1, [Step.read(0, 1)])
+        env.process(cn.transaction_process(t))
+        env.run(until=500)
+        assert cn.active_transactions == 1
+        env.run()
+        assert cn.active_transactions == 0
+
+    def test_history_records_holds(self):
+        env, cn, _ = build()
+        t = txn(1, [Step.read(0, 1), Step.write(1, 1)])
+        env.process(cn.transaction_process(t))
+        env.run()
+        assert len(cn.history.holds) == 2
+        for hold in cn.history.holds:
+            assert hold.released_at == t.commit_time
+
+
+class TestCpuQueueing:
+    def test_control_work_serialises_on_cn_cpu(self):
+        """Two simultaneous arrivals: the second's admission waits for
+        the first's admission+startup on the single CN CPU."""
+        env, cn, _ = build(startup_time=100, admission_time=50,
+                           commit_time=0, dd_time=0)
+        t1 = txn(1, [Step.read(0, 1)])
+        t2 = txn(2, [Step.read(1, 1)])
+        env.process(cn.transaction_process(t1))
+        env.process(cn.transaction_process(t2))
+        env.run()
+        # Decisions are instantaneous (state changes at call time); the
+        # CPU *charges* serialise FIFO: admit1 [0,50), admit2 [50,100),
+        # startup1 [100,200) -> t1 starts at 200; startup2 [200,300) ->
+        # t2 starts at 300.
+        assert t1.start_time == pytest.approx(200)
+        assert t2.start_time == pytest.approx(300)
+
+    def test_utilization_counts_all_control_work(self):
+        env, cn, _ = build(startup_time=100, admission_time=50,
+                           commit_time=200, dd_time=25)
+        t = txn(1, [Step.read(0, 1)])
+        env.process(cn.transaction_process(t))
+        env.run()
+        busy = cn.cpu.busy_time()
+        assert busy == pytest.approx(50 + 100 + 25 + 200)
+        assert cn.utilization(env.now) == pytest.approx(busy / env.now)
+
+    def test_zero_cost_work_skips_cpu(self):
+        env, cn, _ = build(startup_time=0, admission_time=0,
+                           commit_time=0, dd_time=0)
+        t = txn(1, [Step.read(0, 1)])
+        env.process(cn.transaction_process(t))
+        env.run()
+        assert cn.cpu.busy_time() == 0.0
+        assert env.now == 1000  # pure data-node time
+
+
+class TestRetrySemantics:
+    def test_blocked_request_retries_after_delay(self):
+        env, cn, metrics = build(retry_delay=500, admission_time=0,
+                                 startup_time=0, commit_time=0, dd_time=0)
+        t1 = txn(1, [Step.write(0, 2)])
+        t2 = txn(2, [Step.write(0, 1)])
+        env.process(cn.transaction_process(t1))
+        env.process(cn.transaction_process(t2))
+        env.run()
+        assert metrics.lock_retries > 0
+        assert t1.commit_time == 2000
+        # t2 waits for t1's commit, then its next 500ms poll grants.
+        assert t2.commit_time > 2000
+        assert (t2.commit_time - 1000) % 500 == pytest.approx(0, abs=1e-6)
+
+    def test_admission_rejection_counts_attempts(self):
+        env, cn, _ = build(scheduler_name="ASL", retry_delay=500,
+                           startup_time=0, commit_time=0)
+        t1 = txn(1, [Step.write(0, 3)])
+        t2 = txn(2, [Step.write(0, 1)])
+        env.process(cn.transaction_process(t1))
+        env.process(cn.transaction_process(t2))
+        env.run()
+        assert t2.attempts > 0  # had to re-submit while T1 held the lock
+        assert t2.commit_time > t1.commit_time

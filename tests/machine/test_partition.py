@@ -1,0 +1,71 @@
+"""Unit tests for partitions and the catalog."""
+
+import pytest
+
+from repro.machine import Catalog, Partition
+from repro.errors import ConfigurationError
+
+
+class TestPartition:
+    def test_valid_partition(self):
+        p = Partition(3, 5.0, node=3)
+        assert p.pid == 3 and p.size_objects == 5.0
+
+    def test_negative_pid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Partition(-1, 5.0, node=0)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Partition(0, 0.0, node=0)
+
+
+class TestCatalogUniform:
+    def test_paper_placement_rule(self):
+        catalog = Catalog.uniform(16, size_objects=5.0, num_nodes=8)
+        assert len(catalog) == 16
+        for pid in range(16):
+            assert catalog.node_of(pid) == pid % 8
+
+    def test_sizes(self):
+        catalog = Catalog.uniform(4, size_objects=2.5, num_nodes=2)
+        assert catalog.size_of(3) == 2.5
+
+    def test_partitions_on_node(self):
+        catalog = Catalog.uniform(16, size_objects=5.0, num_nodes=8)
+        on_zero = catalog.partitions_on_node(0)
+        assert [p.pid for p in on_zero] == [0, 8]
+
+    def test_unknown_partition_rejected(self):
+        catalog = Catalog.uniform(4, 1.0, 2)
+        with pytest.raises(ConfigurationError):
+            catalog.node_of(99)
+
+    def test_duplicate_pid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Catalog([Partition(0, 1.0, 0), Partition(0, 2.0, 1)])
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Catalog([])
+
+
+class TestCatalogHotSet:
+    def test_experiment2_layout(self):
+        catalog = Catalog.hot_set(num_hots=4, hot_size=1.0, num_readonly=8,
+                                  readonly_size=5.0, num_nodes=8)
+        assert len(catalog) == 12
+        assert catalog.read_only_pids == list(range(8))
+        assert catalog.hot_pids == [8, 9, 10, 11]
+        assert catalog.size_of(0) == 5.0
+        assert catalog.size_of(8) == 1.0
+
+    def test_one_readonly_partition_per_node(self):
+        catalog = Catalog.hot_set(4, 1.0, 8, 5.0, 8)
+        nodes = {catalog.node_of(pid) for pid in catalog.read_only_pids}
+        assert nodes == set(range(8))
+
+    def test_contains(self):
+        catalog = Catalog.hot_set(4, 1.0, 8, 5.0, 8)
+        assert 11 in catalog
+        assert 12 not in catalog

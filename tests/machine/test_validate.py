@@ -1,0 +1,53 @@
+"""Tests for SimulationResult.validate() — the one-call checker."""
+
+import pytest
+
+from repro import Catalog, SimulationParameters
+from repro.core import Step, TransactionSpec
+from repro.errors import SerializationViolationError
+from repro.machine import Cluster
+from repro.machine.trace import Tracer
+from repro.workloads import pattern1, pattern1_catalog
+
+
+def run(scheduler="K2", record_history=True, tracer=None, rate=0.5):
+    params = SimulationParameters(scheduler=scheduler, arrival_rate_tps=rate,
+                                  sim_clocks=120_000, seed=4,
+                                  num_partitions=16)
+    cluster = Cluster(params, pattern1(), catalog=pattern1_catalog(),
+                      record_history=record_history, tracer=tracer)
+    return cluster.run()
+
+
+@pytest.mark.parametrize("scheduler", ["K2", "CHAIN", "C2PL", "2PL"])
+def test_validate_passes_for_correct_schedulers(scheduler):
+    result = run(scheduler=scheduler, tracer=Tracer())
+    assert result.metrics.commits > 0
+    result.validate()
+
+
+def test_validate_catches_nodc_violations():
+    def hot_writers(tid, streams):
+        return TransactionSpec(tid, [Step.write(0, 2)])
+
+    params = SimulationParameters(scheduler="NODC", arrival_rate_tps=1.0,
+                                  sim_clocks=150_000, seed=4,
+                                  num_partitions=1)
+    cluster = Cluster(params, hot_writers,
+                      catalog=Catalog.uniform(1, 5.0, 8),
+                      record_history=True)
+    result = cluster.run()
+    with pytest.raises(SerializationViolationError):
+        result.validate()
+
+
+def test_validate_without_history_or_trace_checks_scheduler_state():
+    result = run(record_history=False)
+    assert result.history is None and result.tracer is None
+    result.validate()  # still exercises the invariant checker
+
+
+def test_validate_is_idempotent():
+    result = run(tracer=Tracer())
+    result.validate()
+    result.validate()

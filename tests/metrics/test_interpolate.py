@@ -1,0 +1,93 @@
+"""Unit tests for the throughput-at-RT interpolation."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ExperimentError
+from repro.metrics import interpolate_crossing, throughput_at_response_time
+from repro.metrics.interpolate import value_at
+
+
+class TestInterpolateCrossing:
+    def test_exact_sample_hit(self):
+        assert interpolate_crossing([0.2, 0.4, 0.6], [10, 70, 200], 70) == 0.4
+
+    def test_linear_between_samples(self):
+        # y goes 40 -> 100 between x 0.4 and 0.6; crosses 70 at 0.5.
+        crossing = interpolate_crossing([0.2, 0.4, 0.6], [10, 40, 100], 70)
+        assert crossing == pytest.approx(0.5)
+
+    def test_never_crossing_returns_none(self):
+        assert interpolate_crossing([0.2, 0.4], [10, 20], 70) is None
+
+    def test_above_target_from_start(self):
+        assert interpolate_crossing([0.2, 0.4], [90, 200], 70) == 0.2
+
+    def test_unsorted_input_tolerated(self):
+        crossing = interpolate_crossing([0.6, 0.2, 0.4], [100, 10, 40], 70)
+        assert crossing == pytest.approx(0.5)
+
+    def test_infinite_rt_treated_as_crossing(self):
+        crossing = interpolate_crossing([0.2, 0.4, 0.6],
+                                        [10, 40, math.inf], 70)
+        assert crossing == 0.4  # last finite point before blow-up
+
+    def test_nan_points_skipped(self):
+        crossing = interpolate_crossing([0.2, 0.3, 0.4],
+                                        [10, math.nan, 100], 70)
+        assert crossing == pytest.approx(0.2 + (60 / 90) * 0.2)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            interpolate_crossing([1, 2], [1], 5)
+
+
+class TestValueAt:
+    def test_interpolates(self):
+        assert value_at([0.0, 1.0], [0.0, 10.0], 0.25) == pytest.approx(2.5)
+
+    def test_clamps_below_and_above(self):
+        assert value_at([1.0, 2.0], [5.0, 7.0], 0.0) == 5.0
+        assert value_at([1.0, 2.0], [5.0, 7.0], 9.0) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            value_at([], [], 1.0)
+
+
+class TestThroughputAtResponseTime:
+    def test_paper_style_reading(self):
+        rates = [0.2, 0.4, 0.6, 0.8]
+        rts = [10_000, 30_000, 70_000, 200_000]
+        tps = [0.2, 0.39, 0.55, 0.5]
+        got = throughput_at_response_time(rates, rts, tps, 70_000)
+        assert got == pytest.approx(0.55)
+
+    def test_crossing_between_samples_interpolates_tps(self):
+        rates = [0.2, 0.6]
+        rts = [20_000, 120_000]
+        tps = [0.2, 0.6]
+        # RT hits 70k halfway -> rate 0.4 -> TPS 0.4.
+        got = throughput_at_response_time(rates, rts, tps, 70_000)
+        assert got == pytest.approx(0.4)
+
+    def test_never_crossing_returns_best_sampled(self):
+        got = throughput_at_response_time([0.2, 0.4], [10, 20], [0.2, 0.4],
+                                          70_000)
+        assert got == 0.4
+
+    def test_empty_returns_none(self):
+        assert throughput_at_response_time([], [], [], 70_000) is None
+
+
+@given(st.lists(st.tuples(st.floats(0.01, 2), st.floats(0, 1e6)),
+                min_size=2, max_size=10, unique_by=lambda t: t[0]),
+       st.floats(1, 1e5))
+def test_crossing_lies_within_sampled_range(points, target):
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    crossing = interpolate_crossing(xs, ys, target)
+    if crossing is not None:
+        assert min(xs) <= crossing <= max(xs)

@@ -1,0 +1,55 @@
+"""Unit tests for batch means and confidence intervals."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ExperimentError
+from repro.metrics import batch_means, mean_confidence_interval
+
+
+class TestBatchMeans:
+    def test_even_split(self):
+        means = batch_means([1, 2, 3, 4, 5, 6], num_batches=3)
+        assert means == [1.5, 3.5, 5.5]
+
+    def test_remainder_is_dropped_from_tail_batches(self):
+        means = batch_means([1, 2, 3, 4, 5, 6, 7], num_batches=3)
+        assert len(means) == 3
+
+    def test_too_few_values_rejected(self):
+        with pytest.raises(ExperimentError):
+            batch_means([1, 2], num_batches=3)
+
+    def test_zero_batches_rejected(self):
+        with pytest.raises(ExperimentError):
+            batch_means([1, 2, 3], num_batches=0)
+
+
+class TestConfidenceInterval:
+    def test_constant_values_zero_width(self):
+        mean, half = mean_confidence_interval([5.0] * 10)
+        assert mean == 5.0
+        assert half == 0.0
+
+    def test_known_example(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        mean, half = mean_confidence_interval(values)
+        assert mean == 3.0
+        # s = sqrt(2.5); half = t(4)=2.776 * sqrt(2.5/5)
+        assert half == pytest.approx(2.776 * (2.5 / 5) ** 0.5, rel=1e-3)
+
+    def test_single_value_rejected(self):
+        with pytest.raises(ExperimentError):
+            mean_confidence_interval([1.0])
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=50))
+    def test_mean_inside_interval_and_halfwidth_nonnegative(self, values):
+        mean, half = mean_confidence_interval(values)
+        assert half >= 0
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+    def test_large_sample_uses_normal_quantile(self):
+        values = list(range(100))
+        mean, half = mean_confidence_interval(values)
+        assert mean == pytest.approx(49.5)
+        assert half > 0

@@ -1,0 +1,38 @@
+"""Tests for SimulationParameters JSON round-trip."""
+
+import pytest
+
+from repro import SimulationParameters
+from repro.errors import ConfigurationError
+
+
+def test_round_trip_preserves_every_field():
+    original = SimulationParameters(scheduler="K2", arrival_rate_tps=0.7,
+                                    sim_clocks=123_456, seed=9,
+                                    num_partitions=24, chain_time=33.0)
+    again = SimulationParameters.from_json(original.to_json())
+    assert again == original
+
+
+def test_json_is_human_readable():
+    text = SimulationParameters().to_json()
+    assert '"num_nodes": 8' in text
+    assert '"obj_time": 1000.0' in text
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(ConfigurationError, match="unknown parameter"):
+        SimulationParameters.from_json('{"warp_speed": 9}')
+
+
+def test_non_object_rejected():
+    with pytest.raises(ConfigurationError):
+        SimulationParameters.from_json("[1, 2, 3]")
+
+
+def test_validation_applies_on_load():
+    from repro.errors import ConfigurationError
+    bad = SimulationParameters().to_json().replace(
+        '"num_nodes": 8', '"num_nodes": 0')
+    with pytest.raises(ConfigurationError):
+        SimulationParameters.from_json(bad)

@@ -1,0 +1,151 @@
+"""Unit tests for the pattern DSL and the paper's three workloads."""
+
+import pytest
+
+from repro.core import LockMode
+from repro.engine import RandomStreams
+from repro.errors import WorkloadError
+from repro.workloads import (parse_pattern, pattern1, pattern1_catalog,
+                             pattern2, pattern2_catalog, pattern3)
+from repro.workloads.patterns import bind_pattern
+
+
+class TestParsePattern:
+    def test_pattern1_text(self):
+        templates = parse_pattern("r(F1:1) -> r(F2:5) -> w(F1:0.2) -> w(F2:1)")
+        assert templates == [("r", "F1", 1.0), ("r", "F2", 5.0),
+                             ("w", "F1", 0.2), ("w", "F2", 1.0)]
+
+    def test_whitespace_tolerant(self):
+        assert parse_pattern("r(A:1)->w(B:2)") == [("r", "A", 1.0),
+                                                   ("w", "B", 2.0)]
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_pattern("x(A:1)")
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_pattern("read A for 1")
+
+    def test_bind_pattern(self):
+        spec = bind_pattern(5, parse_pattern("r(A:1) -> w(B:2)"),
+                            {"A": 3, "B": 7})
+        assert spec.tid == 5
+        assert spec.steps[0].partition == 3
+        assert spec.steps[0].mode is LockMode.SHARED
+        assert spec.steps[1].partition == 7
+        assert spec.steps[1].mode is LockMode.EXCLUSIVE
+
+    def test_bind_missing_symbol_rejected(self):
+        with pytest.raises(WorkloadError):
+            bind_pattern(1, parse_pattern("r(A:1)"), {})
+
+
+class TestPattern1:
+    def test_shape_and_costs(self):
+        spec = pattern1()(1, RandomStreams(0))
+        assert len(spec.steps) == 4
+        costs = [s.cost for s in spec.steps]
+        assert costs == [1.0, 5.0, 0.2, 1.0]
+        assert spec.actual_total == pytest.approx(7.2)
+
+    def test_f1_f2_distinct_and_in_range(self):
+        workload = pattern1(num_partitions=16)
+        streams = RandomStreams(42)
+        for tid in range(100):
+            spec = workload(tid, streams)
+            f1 = spec.steps[0].partition
+            f2 = spec.steps[1].partition
+            assert f1 != f2
+            assert 0 <= f1 < 16 and 0 <= f2 < 16
+            # Write steps revisit the same two partitions.
+            assert spec.steps[2].partition == f1
+            assert spec.steps[3].partition == f2
+
+    def test_catalog_matches(self):
+        catalog = pattern1_catalog()
+        assert len(catalog) == 16
+        assert catalog.size_of(0) == 5.0
+
+    def test_error_sigma_distorts_declared_only(self):
+        workload = pattern1(error_sigma=1.0)
+        streams = RandomStreams(7)
+        spec = workload(1, streams)
+        assert [s.cost for s in spec.steps] == [1.0, 5.0, 0.2, 1.0]
+        declared = [s.declared_cost for s in spec.steps]
+        assert declared != [1.0, 5.0, 0.2, 1.0]
+        assert all(d >= 0 for d in declared)
+
+    def test_sigma_zero_is_exact(self):
+        spec = pattern1(error_sigma=0.0)(1, RandomStreams(7))
+        assert all(s.declared_cost == s.cost for s in spec.steps)
+
+    def test_too_few_partitions_rejected(self):
+        with pytest.raises(WorkloadError):
+            pattern1(num_partitions=1)
+
+
+class TestPattern2And3:
+    def test_pattern2_shape(self):
+        spec = pattern2(num_hots=8)(1, RandomStreams(0))
+        assert [s.cost for s in spec.steps] == [5.0, 1.0, 1.0]
+        assert [str(s.mode) for s in spec.steps] == ["S", "X", "X"]
+
+    def test_pattern3_shape(self):
+        spec = pattern3(num_hots=8)(1, RandomStreams(0))
+        assert [s.cost for s in spec.steps] == [4.0, 1.0, 2.0]
+
+    def test_binding_ranges(self):
+        workload = pattern2(num_hots=4, num_readonly=8)
+        streams = RandomStreams(3)
+        for tid in range(100):
+            spec = workload(tid, streams)
+            b, f1, f2 = [s.partition for s in spec.steps]
+            assert 0 <= b < 8           # read-only partitions
+            assert 8 <= f1 < 12         # hot set
+            assert 8 <= f2 < 12
+            assert f1 != f2
+
+    def test_catalog_layout(self):
+        catalog = pattern2_catalog(num_hots=4)
+        assert catalog.hot_pids == [8, 9, 10, 11]
+        assert catalog.size_of(8) == 1.0
+        assert catalog.size_of(3) == 5.0
+
+    def test_min_hot_partitions(self):
+        with pytest.raises(WorkloadError):
+            pattern2(num_hots=1)
+        with pytest.raises(WorkloadError):
+            pattern3(num_hots=1)
+
+    def test_repr_shows_pattern(self):
+        assert "r(B:5)" in repr(pattern2())
+
+
+class TestErrorModel:
+    def test_distribution_is_unbiased_for_small_sigma(self):
+        from repro.workloads import declare_with_error
+        from repro.core import Step
+        streams = RandomStreams(11)
+        steps = [Step.read(0, 10.0)] * 2000
+        declared = [s.declared_cost
+                    for s in declare_with_error(steps, streams, sigma=0.3)]
+        mean = sum(declared) / len(declared)
+        assert mean == pytest.approx(10.0, rel=0.05)
+
+    def test_clipping_at_minus_one(self):
+        from repro.workloads import declare_with_error
+        from repro.core import Step
+        streams = RandomStreams(13)
+        steps = [Step.read(0, 1.0)] * 5000
+        declared = [s.declared_cost
+                    for s in declare_with_error(steps, streams, sigma=2.0)]
+        assert min(declared) == 0.0   # clipped, never negative
+        assert all(d >= 0 for d in declared)
+
+    def test_negative_sigma_rejected(self):
+        from repro.workloads import declare_with_error
+        from repro.core import Step
+        with pytest.raises(ValueError):
+            declare_with_error([Step.read(0, 1)], RandomStreams(0), -0.1)

@@ -1,0 +1,130 @@
+"""Tests for trace-driven workloads (save / load / replay)."""
+
+import pytest
+
+from repro.core import LockMode, Step, TransactionSpec
+from repro.engine import RandomStreams
+from repro.errors import WorkloadError
+from repro.workloads import pattern1
+from repro.workloads.tracefile import (ReplayWorkload, load_trace,
+                                       record_workload, save_trace,
+                                       spec_from_dict, spec_to_dict)
+
+
+def sample_specs():
+    return [
+        TransactionSpec(1, [Step.read(0, 5), Step.write(1, 1)]),
+        TransactionSpec(2, [Step.write(3, 2, declared_cost=2.5)]),
+    ]
+
+
+class TestSerialisation:
+    def test_round_trip_dict(self):
+        for spec in sample_specs():
+            again = spec_from_dict(spec_to_dict(spec))
+            assert again.tid == spec.tid
+            assert [(s.partition, s.mode, s.cost, s.declared_cost)
+                    for s in again.steps] == \
+                   [(s.partition, s.mode, s.cost, s.declared_cost)
+                    for s in spec.steps]
+
+    def test_declared_cost_only_written_when_different(self):
+        plain = spec_to_dict(sample_specs()[0])
+        assert "declared_cost" not in plain["steps"][0]
+        erroneous = spec_to_dict(sample_specs()[1])
+        assert erroneous["steps"][0]["declared_cost"] == 2.5
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, sample_specs())
+        loaded = load_trace(path)
+        assert len(loaded) == 2
+        assert loaded[0].steps[0].mode is LockMode.SHARED
+        assert loaded[1].steps[0].declared_cost == 2.5
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(path, sample_specs())
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_trace(path)) == 2
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"tid": 1, "steps": [{"op": "r", "partition": 0, "cost": 1}]}\n'
+            'not json\n')
+        with pytest.raises(WorkloadError, match=":2"):
+            load_trace(path)
+
+    def test_malformed_records_rejected(self):
+        with pytest.raises(WorkloadError):
+            spec_from_dict({"steps": []})
+        with pytest.raises(WorkloadError):
+            spec_from_dict({"tid": 1, "steps": [{"op": "x", "partition": 0,
+                                                 "cost": 1}]})
+
+
+class TestReplayWorkload:
+    def test_replays_in_order_with_new_tids(self):
+        replay = ReplayWorkload(sample_specs())
+        first = replay(1)
+        second = replay(2)
+        assert first.tid == 1 and second.tid == 2
+        assert first.steps[0].partition == 0
+        assert second.steps[0].partition == 3
+
+    def test_cycles_by_default(self):
+        replay = ReplayWorkload(sample_specs())
+        third = replay(3)
+        assert third.tid == 3
+        assert third.steps[0].partition == 0  # wrapped around
+
+    def test_no_cycle_raises_when_exhausted(self):
+        replay = ReplayWorkload(sample_specs(), cycle=False)
+        replay(1)
+        replay(2)
+        with pytest.raises(WorkloadError, match="exhausted"):
+            replay(3)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(WorkloadError):
+            ReplayWorkload([])
+
+    def test_usable_in_simulation(self):
+        from repro import SimulationParameters, run_simulation
+        from repro.workloads import pattern1_catalog
+
+        trace = record_workload(pattern1(), count=50, seed=5)
+        params = SimulationParameters(scheduler="C2PL", arrival_rate_tps=0.4,
+                                      sim_clocks=100_000, seed=5,
+                                      num_partitions=16)
+        result = run_simulation(params, ReplayWorkload(trace),
+                                catalog=pattern1_catalog())
+        assert result.metrics.commits > 0
+
+    def test_replay_is_deterministic_across_runs(self):
+        from repro import SimulationParameters, run_simulation
+        from repro.workloads import pattern1_catalog
+
+        trace = record_workload(pattern1(), count=50, seed=5)
+        params = SimulationParameters(scheduler="K2", arrival_rate_tps=0.4,
+                                      sim_clocks=100_000, seed=5,
+                                      num_partitions=16)
+        a = run_simulation(params, ReplayWorkload(trace),
+                           catalog=pattern1_catalog())
+        b = run_simulation(params, ReplayWorkload(trace),
+                           catalog=pattern1_catalog())
+        assert a.metrics.mean_response_time == b.metrics.mean_response_time
+
+
+class TestRecordWorkload:
+    def test_records_requested_count(self):
+        trace = record_workload(pattern1(), count=10, seed=1)
+        assert len(trace) == 10
+        assert [spec.tid for spec in trace] == list(range(1, 11))
+
+    def test_seeded_recording_reproducible(self):
+        a = record_workload(pattern1(), count=10, seed=1)
+        b = record_workload(pattern1(), count=10, seed=1)
+        assert [s.steps[0].partition for s in a] == \
+               [s.steps[0].partition for s in b]
