@@ -85,6 +85,10 @@ class SimulationParameters:
     k_conflicts: int = 2
     """K of the K-conflict constraint (paper evaluates K = 2)."""
 
+    estimator_mode: str = "overlay"
+    """K-WTPG E(q) evaluation: 'overlay' (copy-free, fast) or 'reference'
+    (legacy deep-copy, kept for differential testing)."""
+
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise ConfigurationError("num_nodes must be >= 1")
@@ -109,6 +113,9 @@ class SimulationParameters:
             raise ConfigurationError("retry_delay must be positive")
         if self.k_conflicts < 0:
             raise ConfigurationError("k_conflicts must be non-negative")
+        if self.estimator_mode not in ("overlay", "reference"):
+            raise ConfigurationError(
+                "estimator_mode must be 'overlay' or 'reference'")
 
     @property
     def mean_interarrival_clocks(self) -> float:
@@ -146,7 +153,7 @@ class SimulationParameters:
                 f"unknown parameter fields: {sorted(unknown)}")
         return cls(**raw)
 
-    def scheduler_kwargs(self) -> Dict[str, float]:
+    def scheduler_kwargs(self) -> Dict[str, object]:
         """Constructor kwargs for the configured scheduler."""
         name = self.scheduler.upper()
         if name == "CHAIN":
@@ -155,7 +162,8 @@ class SimulationParameters:
         if name in ("K2", "KWTPG"):
             kwargs = {"kwtpgtime": self.kwtpg_time,
                       "keeptime": self.keep_time,
-                      "admission_time": self.admission_time}
+                      "admission_time": self.admission_time,
+                      "estimator_mode": self.estimator_mode}
             if name == "KWTPG":
                 kwargs["k"] = self.k_conflicts
             return kwargs

@@ -13,10 +13,11 @@ from repro.core.locks import Declaration, LockTable
 from repro.core.wtpg import WTPG
 from repro.core.chain import chain_components, is_chain_form
 from repro.core.chain_opt import ChainPair, optimise_chain, chain_critical_path
-from repro.core.estimator import estimate_contention
+from repro.core.estimator import ContentionBatch, estimate_contention
 
 __all__ = [
     "ChainPair",
+    "ContentionBatch",
     "Declaration",
     "LockMode",
     "LockTable",

@@ -85,7 +85,7 @@ def remove_transaction(wtpg: WTPG, table: LockTable, tid: int) -> None:
 
 
 def implied_resolutions(table: LockTable, wtpg: WTPG, tid: int,
-                        partition: int, mode) -> List[Tuple[int, int]]:
+                        partition: int, mode) -> Tuple[Tuple[int, int], ...]:
     """Resolutions forced by granting ``tid`` a lock on ``partition``.
 
     Every other active transaction with a pending conflicting declaration
@@ -94,6 +94,9 @@ def implied_resolutions(table: LockTable, wtpg: WTPG, tid: int,
     already resolved the same way are included (resolving is idempotent),
     pairs resolved the *other* way are included too — callers treat those
     as predicted deadlocks.
+
+    The result is a sorted *tuple* so it is hashable as-is: the K-WTPG
+    scheduler keys its E-value cache on it.
     """
     seen: Set[int] = set()
     out: List[Tuple[int, int]] = []
@@ -102,4 +105,4 @@ def implied_resolutions(table: LockTable, wtpg: WTPG, tid: int,
             continue
         seen.add(decl.tid)
         out.append((tid, decl.tid))
-    return sorted(out, key=lambda pair: pair[1])
+    return tuple(sorted(out, key=lambda pair: pair[1]))

@@ -17,7 +17,10 @@ Checked invariants:
    resolved holder-first;
 5. the precedence relation is acyclic (a cycle would be an already-lost
    deadlock — cautious schedulers must never reach it);
-6. source weights never exceed the transaction's declared total.
+6. source weights never exceed the transaction's declared total;
+7. the WTPG's incrementally maintained caches (topological order,
+   closures, critical-path dist) agree with a fresh recomputation
+   (:meth:`~repro.core.wtpg.WTPG.cache_violations`).
 """
 
 from __future__ import annotations
@@ -91,6 +94,9 @@ def find_violations(table: LockTable, wtpg: WTPG) -> List[str]:
     # 5: acyclicity.
     if wtpg.has_precedence_cycle():
         problems.append("precedence cycle (an unavoidable deadlock)")
+
+    # 7: the incremental caches never drift from the ground truth.
+    problems.extend(wtpg.cache_violations())
 
     # 6: source weights bounded by declared totals.
     for tid in tids:

@@ -208,6 +208,7 @@ class WTPGScheduler(Scheduler):
             return LockResponse(
                 Decision.BLOCK, cpu_cost=self._block_check_cost(),
                 reason=f"blocked by holders {sorted(holders)}")
+        # A sorted, hashable tuple — schedulers may key caches on it.
         implied = builder.implied_resolutions(
             self.table, self.wtpg, tid, step.partition, step.mode)
         response = self._evaluate_grant(txn, implied, now)

@@ -19,7 +19,18 @@ calibration evidence.
 
 Control saving (Section 3.4): ``E`` values are cached and reused until
 ``keeptime`` elapses, a transaction starts or commits, or a new precedence
-edge is generated.
+edge is generated.  Cache entries are keyed by the candidate's full
+identity — ``(tid, step_index, implied resolutions)`` — because the
+implied-resolution set of the *same* declaration can change within one
+keeptime window without any invalidating event (e.g. a rival's pending
+declaration is consumed by an already-held re-access, which creates no
+precedence edge).
+
+``estimator_mode`` selects the E(q) evaluation strategy: ``"overlay"``
+(default — copy-free delta view over the live WTPG, one shared
+:class:`~repro.core.estimator.ContentionBatch` per decision) or
+``"reference"`` (the legacy deep-copy evaluation, kept for differential
+testing).  Both produce identical values.
 """
 
 from __future__ import annotations
@@ -27,11 +38,14 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Set, Tuple
 
 from repro.core import builder
-from repro.core.estimator import INFINITE_CONTENTION, estimate_contention
+from repro.core.estimator import (INFINITE_CONTENTION, ContentionBatch,
+                                  estimate_contention)
 from repro.core.locks import Declaration
 from repro.core.schedulers.base import (ControlSaver, Decision, LockResponse,
                                         WTPGScheduler)
 from repro.core.transaction import TransactionRuntime
+
+_EKey = Tuple[int, int, Tuple[Tuple[int, int], ...]]
 
 
 class KWTPGScheduler(WTPGScheduler):
@@ -42,17 +56,23 @@ class KWTPGScheduler(WTPGScheduler):
     def __init__(self, k: int = 2, kwtpgtime: float = 10.0,
                  keeptime: float = 5000.0,
                  admission_time: float = 5.0,
-                 k_count_mode: str = "transactions") -> None:
+                 k_count_mode: str = "transactions",
+                 estimator_mode: str = "overlay") -> None:
         if k < 0:
             raise ValueError(f"K must be non-negative, got {k}")
+        if estimator_mode not in ("overlay", "reference"):
+            raise ValueError(
+                f"estimator_mode must be 'overlay' or 'reference', "
+                f"got {estimator_mode!r}")
         super().__init__()
         self.k = k
         self.kwtpgtime = kwtpgtime
         self.admission_time = admission_time
         self.k_count_mode = k_count_mode
+        self.estimator_mode = estimator_mode
         self._saver = ControlSaver(keeptime)
-        # Cache of E values keyed by (tid, step_index).
-        self._e_cache: Dict[Tuple[int, int], float] = {}
+        # Cache of E values keyed by (tid, step_index, implied resolutions).
+        self._e_cache: Dict[_EKey, float] = {}
         # Deferral graph: tid -> rivals its last delay deferred to.
         self._deferred_to: Dict[int, Set[int]] = {}
 
@@ -91,7 +111,14 @@ class KWTPGScheduler(WTPGScheduler):
         step = txn.step()
         cost = 0.0
 
-        e_q, extra = self._estimate(txn.tid, txn.current_step, implied, now)
+        # One overlay base shared by the request and every rival candidate
+        # this decision evaluates: the base-graph acyclicity verdict and
+        # the live graph's memoized closures are established once.
+        batch = (ContentionBatch(self.wtpg)
+                 if self.estimator_mode == "overlay" else None)
+
+        e_q, extra = self._estimate(txn.tid, txn.current_step, implied, now,
+                                    batch)
         cost += extra
         if e_q == INFINITE_CONTENTION:
             self.stats.deadlock_predictions += 1
@@ -101,7 +128,7 @@ class KWTPGScheduler(WTPGScheduler):
         competitors = self._earliest_per_rival(
             self.table.pending_conflicts(txn.tid, step.partition, step.mode))
         for decl in competitors:
-            e_rival, extra = self._estimate_declaration(decl, now)
+            e_rival, extra = self._estimate_declaration(decl, now, batch)
             cost += extra
             if e_rival < e_q:
                 if self._would_close_deferral_cycle(txn.tid, decl.tid):
@@ -161,24 +188,31 @@ class KWTPGScheduler(WTPGScheduler):
         return False
 
     def _estimate(self, tid: int, step_index: int,
-                  implied: Sequence[Tuple[int, int]],
-                  now: float) -> Tuple[float, float]:
+                  implied: Sequence[Tuple[int, int]], now: float,
+                  batch: Optional[ContentionBatch] = None,
+                  ) -> Tuple[float, float]:
         """E value for a (tid, step) with given implications, plus CPU cost."""
-        key = (tid, step_index)
+        key = (tid, step_index, tuple(implied))
         if not self._saver.stale(now) and key in self._e_cache:
             return self._e_cache[key], 0.0
         if self._saver.stale(now):
             # A fresh computation round starts: drop every stale value.
             self._e_cache.clear()
             self._saver.mark_computed(now)
-        value = estimate_contention(self.wtpg, tid, implied)
+        if batch is not None:
+            value = batch.estimate(tid, implied)
+        else:
+            value = estimate_contention(
+                self.wtpg, tid, implied,
+                reference=self.estimator_mode == "reference")
         self._e_cache[key] = value
         self.stats.estimator_calls += 1
         return value, self.kwtpgtime
 
-    def _estimate_declaration(self, decl: Declaration,
-                              now: float) -> Tuple[float, float]:
+    def _estimate_declaration(self, decl: Declaration, now: float,
+                              batch: Optional[ContentionBatch] = None,
+                              ) -> Tuple[float, float]:
         """E for a rival pending declaration, granted hypothetically now."""
         implied = builder.implied_resolutions(
             self.table, self.wtpg, decl.tid, decl.partition, decl.mode)
-        return self._estimate(decl.tid, decl.step_index, implied, now)
+        return self._estimate(decl.tid, decl.step_index, implied, now, batch)

@@ -19,12 +19,29 @@ each weight is the shortest possible time (in ``ObjTime`` units) between
 two schedule events; the critical (longest) ``T0 -> Tf`` path of a fully
 resolved WTPG is therefore the earliest possible completion time of the
 whole schedule — the quantity both proposed schedulers minimise.
+
+Derived state is maintained *incrementally* so the scheduler hot paths do
+not pay a full recomputation per query:
+
+* a cached topological order of the precedence edges, locally reordered on
+  :meth:`WTPG.resolve` (Pearce–Kelly style) and patched on node add/remove,
+  which makes :meth:`WTPG.has_precedence_cycle` O(1) amortised;
+* memoized :meth:`WTPG.ancestors` / :meth:`WTPG.descendants` closures,
+  invalidated by a structure generation counter;
+* a dirty-set :meth:`WTPG.critical_path_length` that, while the precedence
+  structure is unchanged, recomputes only the dist values downstream of
+  nodes whose weights actually changed (the per-object
+  :meth:`WTPG.decrement_source` path).
+
+See ``docs/wtpg.md`` for the per-operation complexity table.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
+from typing import (Callable, Dict, FrozenSet, Iterable, List, Optional, Set,
+                    Tuple)
 
 from repro.errors import WTPGError
 
@@ -52,6 +69,10 @@ class PairEdge:
     weight_ab: float = 0.0  # w(a -> b)
     weight_ba: float = 0.0  # w(b -> a)
     resolved_to: Optional[int] = None  # the successor tid, or None
+    # Owning-WTPG notification for weight raises, so cached critical-path
+    # state can be dirtied; a standalone PairEdge simply has no observer.
+    _on_weight_change: Optional[Callable[[int], None]] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def weight_to(self, successor: int) -> float:
         if successor == self.b:
@@ -67,9 +88,15 @@ class PairEdge:
         conflict, each directed weight takes the largest ``due`` value.
         """
         if successor == self.b:
-            self.weight_ab = max(self.weight_ab, weight)
+            if weight > self.weight_ab:
+                self.weight_ab = weight
+                if self._on_weight_change is not None:
+                    self._on_weight_change(successor)
         elif successor == self.a:
-            self.weight_ba = max(self.weight_ba, weight)
+            if weight > self.weight_ba:
+                self.weight_ba = weight
+                if self._on_weight_change is not None:
+                    self._on_weight_change(successor)
         else:
             raise WTPGError(
                 f"T{successor} is not part of pair ({self.a},{self.b})")
@@ -103,6 +130,49 @@ class WTPG:
         # only) so successor/ancestor queries do not scan all pair edges.
         self._succ: Dict[int, Set[int]] = {}
         self._pred: Dict[int, Set[int]] = {}
+        # Ordered index of unresolved pairs (dict-as-ordered-set) so
+        # iteration stays deterministic, like scanning _pairs used to be.
+        self._unresolved: Dict[Pair, None] = {}
+        # Generation counters: ``_generation`` bumps on every observable
+        # change (structure or weights) and is exposed for external cache
+        # keys; ``_structure_gen`` bumps only when the precedence relation
+        # (nodes or resolved edges) changes and gates the closure caches.
+        self._generation = 0
+        self._structure_gen = 0
+        # Cached topological order of the precedence edges.
+        # _known_cyclic: None = unknown (recompute lazily), False = the
+        # cached order/positions are valid, True = cyclic (no order).
+        self._known_cyclic: Optional[bool] = None
+        self._topo_order: Optional[List[int]] = None
+        self._topo_pos: Dict[int, int] = {}
+        # Memoized transitive closures, valid while _closure_gen matches.
+        self._anc_cache: Dict[int, Set[int]] = {}
+        self._desc_cache: Dict[int, Set[int]] = {}
+        self._closure_gen = -1
+        # Critical-path cache: dist per node, valid while _cp_gen matches
+        # the structure generation; _cp_dirty holds nodes whose weights
+        # changed since dist was computed (suffix-recompute path).
+        self._cp_dist: Optional[Dict[int, float]] = None
+        self._cp_value = 0.0
+        self._cp_gen = -1
+        self._cp_dirty: Set[int] = set()
+
+    # -- generations -----------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Bumped on every observable mutation (structure or weights).
+
+        External caches (e.g. a scheduler's E-value cache) can key on this
+        to detect that *anything* about the graph changed.
+        """
+        return self._generation
+
+    def _note_edge_weight(self, successor: int) -> None:
+        """A pair edge's directed weight was raised (PairEdge callback)."""
+        self._generation += 1
+        if successor in self._source:
+            self._cp_dirty.add(successor)
 
     # -- nodes ---------------------------------------------------------------
 
@@ -128,6 +198,13 @@ class WTPG:
         self._neighbors[tid] = set()
         self._succ[tid] = set()
         self._pred[tid] = set()
+        self._generation += 1
+        self._structure_gen += 1
+        # An isolated new node extends any valid topological order.
+        if self._known_cyclic is False:
+            assert self._topo_order is not None
+            self._topo_pos[tid] = len(self._topo_order)
+            self._topo_order.append(tid)
 
     def remove_transaction(self, tid: int) -> None:
         """Drop a node and all its pair edges (commit or admission abort)."""
@@ -138,9 +215,22 @@ class WTPG:
             self._neighbors[other].discard(tid)
             self._succ[other].discard(tid)
             self._pred[other].discard(tid)
-            del self._pairs[_pair(tid, other)]
+            key = _pair(tid, other)
+            self._unresolved.pop(key, None)
+            del self._pairs[key]
         del self._succ[tid]
         del self._pred[tid]
+        self._generation += 1
+        self._structure_gen += 1
+        if self._known_cyclic is True:
+            # Removal may have broken the cycle: back to unknown.
+            self._known_cyclic = None
+        elif self._known_cyclic is False:
+            assert self._topo_order is not None
+            index = self._topo_pos.pop(tid)
+            self._topo_order.pop(index)
+            for i in range(index, len(self._topo_order)):
+                self._topo_pos[self._topo_order[i]] = i
 
     def _require(self, tid: int) -> None:
         if tid not in self._source:
@@ -154,12 +244,20 @@ class WTPG:
 
     def set_source_weight(self, tid: int, value: float) -> None:
         self._require(tid)
-        self._source[tid] = max(0.0, value)
+        value = max(0.0, value)
+        if value != self._source[tid]:
+            self._source[tid] = value
+            self._generation += 1
+            self._cp_dirty.add(tid)
 
     def decrement_source(self, tid: int, objects: float = 1.0) -> None:
         """Apply a weight-adjustment message (one object processed)."""
         self._require(tid)
-        self._source[tid] = max(0.0, self._source[tid] - objects)
+        value = max(0.0, self._source[tid] - objects)
+        if value != self._source[tid]:
+            self._source[tid] = value
+            self._generation += 1
+            self._cp_dirty.add(tid)
 
     # -- pair edges -------------------------------------------------------------
 
@@ -172,9 +270,12 @@ class WTPG:
         if edge is None:
             lo, hi = min(a, b), max(a, b)
             edge = PairEdge(lo, hi)
+            edge._on_weight_change = self._note_edge_weight
             self._pairs[key] = edge
+            self._unresolved[key] = None
             self._neighbors[a].add(b)
             self._neighbors[b].add(a)
+            self._generation += 1
         return edge
 
     def pair(self, a: int, b: int) -> Optional[PairEdge]:
@@ -184,7 +285,7 @@ class WTPG:
         return tuple(self._pairs.values())
 
     def unresolved_pairs(self) -> Tuple[PairEdge, ...]:
-        return tuple(e for e in self._pairs.values() if not e.resolved)
+        return tuple(self._pairs[key] for key in self._unresolved)
 
     def conflict_neighbors(self, tid: int) -> Set[int]:
         """All transactions sharing a pair edge with ``tid`` (any state)."""
@@ -205,7 +306,8 @@ class WTPG:
         flip an already resolved pair (callers must detect that case as a
         deadlock/inconsistency *before* resolving).
         """
-        edge = self._pairs.get(_pair(predecessor, successor))
+        key = _pair(predecessor, successor)
+        edge = self._pairs.get(key)
         if edge is None:
             raise WTPGError(
                 f"no conflicting-edge between T{predecessor} and T{successor}")
@@ -217,6 +319,76 @@ class WTPG:
         edge.resolved_to = successor
         self._succ[predecessor].add(successor)
         self._pred[successor].add(predecessor)
+        self._unresolved.pop(key, None)
+        self._generation += 1
+        self._structure_gen += 1
+        if self._known_cyclic is False:
+            self._pk_insert(predecessor, successor)
+
+    # -- cached topological order ------------------------------------------------
+
+    def _pk_insert(self, pred: int, succ: int) -> None:
+        """Pearce–Kelly local reorder after the new edge ``pred -> succ``.
+
+        Precondition: the cached order was valid for the graph without the
+        new edge.  If the edge already points forward, nothing moves; else
+        only the nodes between ``pos[succ]`` and ``pos[pred]`` that are
+        affected get new positions.  Detects a cycle (then drops the order
+        and marks the graph cyclic).
+        """
+        order, pos = self._topo_order, self._topo_pos
+        assert order is not None
+        if pos[pred] < pos[succ]:
+            return
+        lb, ub = pos[succ], pos[pred]
+        # Forward: nodes reachable from succ within the affected region.
+        # In a valid order every existing edge increases position, so any
+        # path succ ~> pred stays within [lb, ub]; hitting pred = cycle.
+        seen_f: Set[int] = {succ}
+        stack = [succ]
+        while stack:
+            node = stack.pop()
+            for nxt in self._succ[node]:
+                if nxt == pred:
+                    self._known_cyclic = True
+                    self._topo_order = None
+                    self._topo_pos = {}
+                    return
+                if nxt not in seen_f and pos[nxt] <= ub:
+                    seen_f.add(nxt)
+                    stack.append(nxt)
+        # Backward: nodes reaching pred within the affected region.
+        seen_b: Set[int] = {pred}
+        stack = [pred]
+        while stack:
+            node = stack.pop()
+            for nxt in self._pred[node]:
+                if nxt not in seen_b and pos[nxt] >= lb:
+                    seen_b.add(nxt)
+                    stack.append(nxt)
+        # No cycle: seen_f and seen_b are disjoint.  Reassign the union's
+        # old positions: the backward group first, then the forward group,
+        # each keeping its internal relative order.
+        slots = sorted(pos[t] for t in seen_b | seen_f)
+        shuffled = (sorted(seen_b, key=pos.__getitem__)
+                    + sorted(seen_f, key=pos.__getitem__))
+        for slot, node in zip(slots, shuffled):
+            order[slot] = node
+            pos[node] = slot
+
+    def _ensure_topo(self) -> None:
+        """Make the cyclicity verdict (and order, if acyclic) available."""
+        if self._known_cyclic is not None:
+            return
+        order = self._topological_order()
+        if order is None:
+            self._known_cyclic = True
+            self._topo_order = None
+            self._topo_pos = {}
+        else:
+            self._known_cyclic = False
+            self._topo_order = order
+            self._topo_pos = {tid: i for i, tid in enumerate(order)}
 
     # -- precedence structure -----------------------------------------------------
 
@@ -231,14 +403,38 @@ class WTPG:
         return set(self._succ[tid])
 
     def ancestors(self, tid: int) -> Set[int]:
-        """``before(T)``: every transaction preceding ``tid`` transitively."""
+        """``before(T)``: every transaction preceding ``tid`` transitively.
+
+        Memoized per structure generation; the returned set is a copy the
+        caller may mutate freely.
+        """
         self._require(tid)
-        return self._closure(tid, self._pred)
+        cache = self._closure_cache(self._anc_cache)
+        hit = cache.get(tid)
+        if hit is None:
+            hit = self._closure(tid, self._pred)
+            cache[tid] = hit
+        return set(hit)
 
     def descendants(self, tid: int) -> Set[int]:
-        """``after(T)``: every transaction following ``tid`` transitively."""
+        """``after(T)``: every transaction following ``tid`` transitively.
+
+        Memoized per structure generation; the returned set is a copy.
+        """
         self._require(tid)
-        return self._closure(tid, self._succ)
+        cache = self._closure_cache(self._desc_cache)
+        hit = cache.get(tid)
+        if hit is None:
+            hit = self._closure(tid, self._succ)
+            cache[tid] = hit
+        return set(hit)
+
+    def _closure_cache(self, cache: Dict[int, Set[int]]) -> Dict[int, Set[int]]:
+        if self._closure_gen != self._structure_gen:
+            self._anc_cache.clear()
+            self._desc_cache.clear()
+            self._closure_gen = self._structure_gen
+        return cache
 
     def _closure(self, tid: int, adjacency: Dict[int, Set[int]]) -> Set[int]:
         seen: Set[int] = set()
@@ -253,8 +449,13 @@ class WTPG:
         return seen
 
     def has_precedence_cycle(self) -> bool:
-        """True if the resolved (precedence) edges contain a cycle."""
-        return self._topological_order() is None
+        """True if the resolved (precedence) edges contain a cycle.
+
+        O(1) amortised: the verdict is maintained incrementally with the
+        cached topological order.
+        """
+        self._ensure_topo()
+        return bool(self._known_cyclic)
 
     def creates_cycle_from(self, tid: int, targets: Iterable[int]) -> bool:
         """Would adding edges ``tid -> t`` for each target close a cycle?
@@ -282,16 +483,14 @@ class WTPG:
         return False
 
     def _topological_order(self) -> Optional[List[int]]:
+        """Full deterministic Kahn order (smallest-tid-first tie-break)."""
         indegree = {tid: 0 for tid in self._source}
         for edge in self._pairs.values():
             if edge.resolved:
                 indegree[edge.resolved_to] += 1  # type: ignore[index]
-        queue = sorted(tid for tid, deg in indegree.items() if deg == 0)
-        order: List[int] = []
-        # Kahn's algorithm; sorted pops keep the order deterministic.
-        from heapq import heapify, heappop, heappush
-        heap = list(queue)
+        heap = [tid for tid, deg in indegree.items() if deg == 0]
         heapify(heap)
+        order: List[int] = []
         while heap:
             node = heappop(heap)
             order.append(node)
@@ -312,23 +511,59 @@ class WTPG:
         the estimator ``E(q)``.  Raises :class:`WTPGError` on a precedence
         cycle — check :meth:`has_precedence_cycle` first where a cycle is a
         legal outcome to detect.
+
+        Cached: while the precedence structure is unchanged, only the dist
+        values downstream of weight-dirtied nodes are recomputed.
         """
-        order = self._topological_order()
-        if order is None:
+        self._ensure_topo()
+        if self._known_cyclic:
             raise WTPGError("cannot take critical path of a cyclic WTPG")
+        order = self._topo_order
+        assert order is not None
         if not order:
+            self._cp_dirty.clear()
             return 0.0
-        dist: Dict[int, float] = {}
-        for tid in order:
-            best = self._source[tid]
-            for pred in self.predecessors(tid):
-                edge = self._pairs[_pair(tid, pred)]
-                best = max(best, dist[pred] + edge.weight_to(tid))
-            dist[tid] = best
-        return max(dist[tid] + self._sink[tid] for tid in order)
+        dist = self._cp_dist
+        if dist is not None and self._cp_gen == self._structure_gen:
+            if not self._cp_dirty:
+                return self._cp_value
+            affected: Set[int] = set()
+            for tid in self._cp_dirty:
+                if tid in self._source:
+                    affected.add(tid)
+                    affected |= self.descendants(tid)
+            self._cp_dirty.clear()
+            if not affected:
+                return self._cp_value
+            for tid in order:
+                if tid in affected:
+                    dist[tid] = self._dist_of(tid, dist)
+        else:
+            dist = {}
+            for tid in order:
+                dist[tid] = self._dist_of(tid, dist)
+            self._cp_dist = dist
+            self._cp_gen = self._structure_gen
+            self._cp_dirty.clear()
+        sink = self._sink
+        self._cp_value = max(dist[tid] + sink[tid] for tid in order)
+        return self._cp_value
+
+    def _dist_of(self, tid: int, dist: Dict[int, float]) -> float:
+        best = self._source[tid]
+        for pred in self._pred[tid]:
+            cand = dist[pred] + self._pairs[_pair(tid, pred)].weight_to(tid)
+            if cand > best:
+                best = cand
+        return best
 
     def critical_path(self) -> Tuple[float, List[int]]:
-        """Critical path length plus one witnessing node sequence."""
+        """Critical path length plus one witnessing node sequence.
+
+        Uses the deterministic full Kahn order so the witness path's
+        tie-breaks are stable run to run (the cached order is merely *a*
+        valid order).
+        """
         order = self._topological_order()
         if order is None:
             raise WTPGError("cannot take critical path of a cyclic WTPG")
@@ -364,10 +599,71 @@ class WTPG:
         clone._neighbors = {tid: set(nbrs) for tid, nbrs in self._neighbors.items()}
         clone._succ = {tid: set(s) for tid, s in self._succ.items()}
         clone._pred = {tid: set(p) for tid, p in self._pred.items()}
-        clone._pairs = {
-            key: PairEdge(e.a, e.b, e.weight_ab, e.weight_ba, e.resolved_to)
-            for key, e in self._pairs.items()}
+        clone._pairs = {}
+        for key, e in self._pairs.items():
+            edge = PairEdge(e.a, e.b, e.weight_ab, e.weight_ba, e.resolved_to)
+            edge._on_weight_change = clone._note_edge_weight
+            clone._pairs[key] = edge
+        clone._unresolved = dict(self._unresolved)
         return clone
+
+    # -- cache validation (paranoia mode) -----------------------------------------
+
+    def cache_violations(self) -> List[str]:
+        """Check every incrementally maintained cache against a fresh
+        recomputation; returns human-readable problems (empty = healthy).
+
+        Used by :mod:`repro.core.invariants` and the property suite to
+        prove the Pearce–Kelly maintenance and the closure/critical-path
+        memos never drift from the ground truth.
+        """
+        problems: List[str] = []
+        fresh_order = self._topological_order()
+        if self._known_cyclic is True and fresh_order is not None:
+            problems.append("cached verdict says cyclic but graph is acyclic")
+        if self._known_cyclic is False:
+            if fresh_order is None:
+                problems.append("cached verdict says acyclic but graph "
+                                "has a precedence cycle")
+            elif self._topo_order is None:
+                problems.append("acyclic verdict without a cached order")
+            else:
+                order = self._topo_order
+                if sorted(order) != sorted(self._source):
+                    problems.append("cached topological order does not "
+                                    "cover the node set")
+                pos = self._topo_pos
+                if pos != {tid: i for i, tid in enumerate(order)}:
+                    problems.append("cached topo positions out of sync")
+                else:
+                    for edge in self._pairs.values():
+                        if edge.resolved:
+                            succ = edge.resolved_to
+                            pred = edge.predecessor()
+                            if pos[pred] >= pos[succ]:
+                                problems.append(
+                                    f"cached order violates T{pred}->T{succ}")
+        expected_unresolved = {key for key, e in self._pairs.items()
+                               if not e.resolved}
+        if set(self._unresolved) != expected_unresolved:
+            problems.append("unresolved-pair index out of sync")
+        if self._closure_gen == self._structure_gen:
+            for tid, cached in self._anc_cache.items():
+                if tid in self._source and cached != self._closure(
+                        tid, self._pred):
+                    problems.append(f"stale ancestors cache for T{tid}")
+            for tid, cached in self._desc_cache.items():
+                if tid in self._source and cached != self._closure(
+                        tid, self._succ):
+                    problems.append(f"stale descendants cache for T{tid}")
+        if (self._cp_dist is not None and self._cp_gen == self._structure_gen
+                and not self._cp_dirty and fresh_order is not None):
+            fresh: Dict[int, float] = {}
+            for tid in fresh_order:
+                fresh[tid] = self._dist_of(tid, fresh)
+            if fresh != self._cp_dist:
+                problems.append("stale critical-path dist cache")
+        return problems
 
     def __repr__(self) -> str:
         pairs = []

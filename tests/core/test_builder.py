@@ -114,16 +114,16 @@ class TestImpliedResolutions:
         table, g = start_all()
         # Granting T2's X on A implies T2 -> T1 (T1 has pending r/w on A).
         implied = implied_resolutions(table, g, 2, A, LockMode.EXCLUSIVE)
-        assert implied == [(2, 1)]
+        assert implied == ((2, 1),)
 
     def test_granted_locks_do_not_reappear(self):
         table, g = start_all()
         table.grant(1, 0)  # T1 holds S on A
         implied = implied_resolutions(table, g, 2, A, LockMode.EXCLUSIVE)
         # T1's remaining pending declaration on A (the write) still counts.
-        assert implied == [(2, 1)]
+        assert implied == ((2, 1),)
         table.grant(1, 2)  # T1 now also holds X on A
-        assert implied_resolutions(table, g, 2, A, LockMode.EXCLUSIVE) == []
+        assert implied_resolutions(table, g, 2, A, LockMode.EXCLUSIVE) == ()
 
     def test_shared_request_does_not_imply_against_shared(self):
         table, wtpg = LockTable(), WTPG()
@@ -131,7 +131,7 @@ class TestImpliedResolutions:
             spec = TransactionSpec(tid, [Step.read(0, 1)])
             table.register(spec)
             add_transaction(wtpg, table, spec)
-        assert implied_resolutions(table, wtpg, 1, 0, LockMode.SHARED) == []
+        assert implied_resolutions(table, wtpg, 1, 0, LockMode.SHARED) == ()
 
     def test_deterministic_order(self):
         table, wtpg = LockTable(), WTPG()
@@ -140,7 +140,7 @@ class TestImpliedResolutions:
             table.register(spec)
             add_transaction(wtpg, table, spec)
         implied = implied_resolutions(table, wtpg, 5, 0, LockMode.EXCLUSIVE)
-        assert implied == [(5, 3), (5, 8)]
+        assert implied == ((5, 3), (5, 8))
 
 
 class TestRemoval:

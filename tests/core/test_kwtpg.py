@@ -297,3 +297,84 @@ class TestWeightsDriveDecisions:
         r2 = sched.request_lock(t2)
         assert r1.granted
         assert r2.decision in (Decision.DELAY, Decision.BLOCK)
+
+
+class TestECacheKeyedByImpliedSet:
+    """Regression: the E-cache used to be keyed by (tid, step_index) only.
+
+    Within one keeptime window the implied-resolution set of the *same*
+    request can shrink without any cache invalidation firing: a rival's
+    pending declaration is consumed by a re-access of an already-held lock
+    (``_consume_if_pending``), which creates no precedence edge and no
+    commit/admit event.  The old key then returned the E value of the old,
+    larger implied set — a stale estimate that can mis-rank candidates.
+    The key now includes the implied tuple itself.
+    """
+
+    def test_same_request_different_implied_sets_not_conflated(self):
+        from repro.core import builder
+        from repro.core.estimator import estimate_contention
+        from repro.core.transaction import LockMode
+
+        sched = KWTPGScheduler(k=3, keeptime=50_000)
+        t1 = rt(1, [Step.read(0, 4), Step.read(0, 1)])
+        t2 = rt(2, [Step.write(0, 2)])
+        t4 = rt(4, [Step.read(0, 1)])
+        for t in (t1, t2, t4):
+            assert sched.admit(t, now=0).admitted
+
+        full = builder.implied_resolutions(
+            sched.table, sched.wtpg, 2, 0, LockMode.EXCLUSIVE)
+        assert full == ((2, 1), (2, 4))
+        e_full, cost_full = sched._estimate(2, 0, full, now=1)
+        assert cost_full > 0
+        assert e_full == estimate_contention(
+            sched.wtpg, 2, full, reference=True)
+
+        # T1's second r-P0 declaration is consumed by its re-access while
+        # its first grant still holds the lock: no new precedence edge, no
+        # commit, no admission — the ControlSaver stays warm.  In that
+        # state the same (tid=2, step=0) request implies only (2, 4).
+        reduced = ((2, 4),)
+        truth = estimate_contention(sched.wtpg, 2, reduced, reference=True)
+        e_reduced, _ = sched._estimate(2, 0, reduced, now=2)
+        assert e_reduced == truth
+        assert e_full != truth  # the stale value the old key would return
+
+    def test_consume_if_pending_shrinks_implied_within_warm_window(self):
+        """End-to-end: the consumption path changes the implied set while
+        the ControlSaver cache stays warm — the exact state in which the
+        old (tid, step_index) key served a stale E value."""
+        from repro.core import builder
+        from repro.core.estimator import estimate_contention
+        from repro.core.transaction import LockMode
+
+        sched = KWTPGScheduler(k=3, keeptime=50_000)
+        t1 = rt(1, [Step.read(0, 4), Step.read(0, 1)])
+        t2 = rt(2, [Step.write(0, 2)])
+        t4 = rt(4, [Step.read(0, 1)])
+        for t in (t1, t2, t4):
+            assert sched.admit(t, now=0).admitted
+        # T1 acquires P0 shared (this grant invalidates — fine, the window
+        # of interest starts after it)...
+        assert sched.request_lock(t1, now=1).granted
+        mid = builder.implied_resolutions(
+            sched.table, sched.wtpg, 2, 0, LockMode.EXCLUSIVE)
+        assert mid == ((2, 1), (2, 4))  # T1's step-1 decl is still pending
+        # ...and T2's request is estimated, warming the cache.
+        e_mid, _ = sched._estimate(2, 0, mid, now=2)
+        assert not sched._saver.stale(3)
+        # T1 finishes step 0 and re-accesses P0 at step 1: the re-access
+        # consumes its second declaration with NO invalidation event.
+        for _ in range(4):
+            sched.object_processed(t1)
+        t1.advance_step()
+        assert sched.request_lock(t1, now=3).granted
+        assert not sched._saver.stale(4)  # cache still warm
+        after = builder.implied_resolutions(
+            sched.table, sched.wtpg, 2, 0, LockMode.EXCLUSIVE)
+        assert after == ((2, 4),)  # the implied set shrank silently
+        truth = estimate_contention(sched.wtpg, 2, after, reference=True)
+        e_after, _ = sched._estimate(2, 0, after, now=4)
+        assert e_after == truth
+        assert e_mid != e_after  # the old key would have served e_mid
