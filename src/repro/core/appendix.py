@@ -29,7 +29,9 @@ port exists for fidelity and cross-validation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.chain_opt import ChainPair
 
 from repro.errors import WTPGError
 
@@ -100,7 +102,7 @@ def appendix_shortest_critical_path(r1: Sequence[float], a1: Sequence[float],
 
 def _lcomp(k: int, r: List[float], a: List[float], b: List[float],
            big_l: Dict[int, Triplet], big_r: Dict[int, Triplet],
-           r_crit) -> Triplet:
+           r_crit: Callable[[int], float]) -> Triplet:
     """L[k]: edge (k-1, k) set downwards; see module docstring."""
     nxt = big_l[k + 1]
 
@@ -133,7 +135,7 @@ def _lcomp(k: int, r: List[float], a: List[float], b: List[float],
 
 def _rcomp(k: int, r: List[float], a: List[float], b: List[float],
            big_l: Dict[int, Triplet], big_r: Dict[int, Triplet],
-           l_crit) -> Triplet:
+           l_crit: Callable[[int], float]) -> Triplet:
     """R[k]: edge (k-1, k) set upwards; see module docstring."""
     nxt = big_r[k + 1]
 
@@ -171,7 +173,8 @@ def _rcomp(k: int, r: List[float], a: List[float], b: List[float],
 
 
 def from_chain(source_weights: Sequence[float],
-               pairs: Sequence) -> Tuple[List[float], List[float], List[float]]:
+               pairs: Sequence[Optional[ChainPair]],
+               ) -> Tuple[List[float], List[float], List[float]]:
     """Convert a ``chain_opt`` instance into the appendix (r, a, b) form.
 
     Every pair must be present and free (the appendix handles the initial

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import List, Set, Tuple
 
 from repro.core.locks import LockTable
-from repro.core.transaction import TransactionSpec
+from repro.core.transaction import LockMode, TransactionSpec
 from repro.core.wtpg import WTPG
 from repro.errors import WTPGError
 
@@ -33,7 +33,8 @@ def conflict_partners(table: LockTable, spec: TransactionSpec) -> Set[int]:
     """
     partners: Set[int] = set()
     own = table.declarations_of(spec.tid)
-    for other_tid in table.active_transactions:
+    # Sorted for deterministic iteration (RL001), matching add_transaction.
+    for other_tid in sorted(table.active_transactions):
         if other_tid == spec.tid:
             continue
         if table.conflicting_transactions(own, other_tid):
@@ -85,7 +86,8 @@ def remove_transaction(wtpg: WTPG, table: LockTable, tid: int) -> None:
 
 
 def implied_resolutions(table: LockTable, wtpg: WTPG, tid: int,
-                        partition: int, mode) -> Tuple[Tuple[int, int], ...]:
+                        partition: int,
+                        mode: LockMode) -> Tuple[Tuple[int, int], ...]:
     """Resolutions forced by granting ``tid`` a lock on ``partition``.
 
     Every other active transaction with a pending conflicting declaration

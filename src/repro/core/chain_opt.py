@@ -126,7 +126,8 @@ def brute_force_chain(source_weights: Sequence[float],
                       ) -> Tuple[float, List[Orientation]]:
     """Exhaustive optimum — exponential; for tests and tiny chains only."""
     _validate(source_weights, pairs)
-    slots = [p.choices if p is not None else (None,) for p in pairs]
+    slots: List[Tuple[Orientation, ...]] = [
+        p.choices if p is not None else (None,) for p in pairs]
     best_len, best_orients = float("inf"), [p.fixed if p else None for p in pairs]
     for combo in product(*slots):
         length = chain_critical_path(source_weights, pairs, list(combo))

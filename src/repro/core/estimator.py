@@ -33,13 +33,20 @@ randomized graphs by ``tests/core/test_estimator_equivalence.py``):
 candidates one scheduling decision evaluates (the request plus every
 rival declaration): the base-graph acyclicity verdict is established once
 and the live graph's memoized closures are reused across candidates.
+
+This module is the sanctioned *friend* of :class:`~repro.core.wtpg.WTPG`:
+the overlay reads (never writes) a fixed set of private structures —
+``_cp_dist``, ``_succ``, ``_pred``, ``_source``, ``_sink``, ``_pairs``
+and the ``_pair`` key helper.  That set is enforced by the RL003
+encapsulation lint rule (``repro.lint``); extending it requires updating
+the allowlist there and the rationale in ``docs/lint.md``.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence, Set, Tuple
 
-from repro.core.wtpg import WTPG, _pair
+from repro.core.wtpg import WTPG, Pair, _pair
 from repro.errors import WTPGError
 
 INFINITE_CONTENTION = float("inf")
@@ -108,7 +115,7 @@ class ContentionBatch:
         # predicted deadlock.
         extra_succ: _Adj = {}
         extra_pred: _Adj = {}
-        overlaid: Dict[frozenset, int] = {}
+        overlaid: Dict[Pair, int] = {}
         new_edges: List[Resolution] = []
         for predecessor, successor in implied_resolutions:
             pair = wtpg.pair(predecessor, successor)

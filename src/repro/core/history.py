@@ -63,7 +63,7 @@ class History:
         by_partition: Dict[int, List[HoldRecord]] = {}
         for hold in self.holds:
             by_partition.setdefault(hold.partition, []).append(hold)
-        pairs = []
+        pairs: List[Tuple[HoldRecord, HoldRecord]] = []
         for records in by_partition.values():
             for i, first in enumerate(records):
                 for second in records[i + 1:]:

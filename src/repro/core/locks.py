@@ -52,7 +52,7 @@ class LockTable:
         """Enter every lock-declaration of ``spec`` into the table."""
         if spec.tid in self._by_txn:
             raise LockTableError(f"T{spec.tid} is already registered")
-        decls = []
+        decls: List[Declaration] = []
         for index, step in enumerate(spec.steps):
             decl = Declaration(spec.tid, index, step.partition, step.mode,
                                spec.due(index))
@@ -202,7 +202,7 @@ class LockTable:
     def conflicting_transactions(self, spec_a: Iterable[Declaration],
                                  tid_b: int) -> List[Tuple[Declaration, Declaration]]:
         """All conflicting declaration pairs between ``spec_a`` and ``tid_b``."""
-        pairs = []
+        pairs: List[Tuple[Declaration, Declaration]] = []
         decls_b = self._by_txn.get(tid_b, ())
         by_partition: Dict[int, List[Declaration]] = {}
         for decl in decls_b:

@@ -15,6 +15,8 @@
 All share the :class:`Scheduler` interface consumed by the machine model.
 """
 
+from typing import Any, Callable, Dict
+
 from repro.core.schedulers.base import (AdmissionResponse, Decision,
                                         LockResponse, Scheduler,
                                         SchedulerStats)
@@ -27,7 +29,7 @@ from repro.core.schedulers.hybrids import ChainC2PL, KConflictC2PL
 from repro.core.schedulers.twopl import BlockingTwoPhaseLock
 from repro.core.schedulers.wait_die import WaitDie
 
-SCHEDULER_FACTORIES = {
+SCHEDULER_FACTORIES: Dict[str, Callable[..., Scheduler]] = {
     "2PL": BlockingTwoPhaseLock,
     "WAIT-DIE": WaitDie,
     "CHAIN": ChainScheduler,
@@ -41,7 +43,7 @@ SCHEDULER_FACTORIES = {
 }
 
 
-def make_scheduler(name: str, **kwargs) -> Scheduler:
+def make_scheduler(name: str, **kwargs: Any) -> Scheduler:
     """Instantiate a scheduler by its paper name (e.g. ``"K2"``)."""
     try:
         factory = SCHEDULER_FACTORIES[name.upper()]

@@ -15,7 +15,7 @@ blocking.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.schedulers.base import (Decision, LockResponse,
                                         WTPGScheduler)
@@ -47,7 +47,7 @@ class CautiousTwoPhaseLock(WTPGScheduler):
 
     def _would_deadlock(self, implied: Sequence[Tuple[int, int]]) -> bool:
         """True if applying ``implied`` contradicts or creates a cycle."""
-        fresh = []
+        fresh: List[Tuple[int, int]] = []
         for predecessor, successor in implied:
             pair = self.wtpg.pair(predecessor, successor)
             if pair is None:

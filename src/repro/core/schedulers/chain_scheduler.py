@@ -14,7 +14,7 @@ otherwise the most recent ``W`` is reused.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.chain import chain_components, would_remain_chain_form
 from repro.core.chain_opt import DOWN, UP, ChainPair, optimise_chain
@@ -35,11 +35,11 @@ class ChainScheduler(WTPGScheduler):
         self.chaintime = chaintime
         self.admission_time = admission_time
         self._saver = ControlSaver(keeptime)
+        # W: for each unresolved-at-computation pair, the successor tid.
+        self._w_order: Dict[FrozenSet[int], int] = {}
 
     def _admission_cost(self) -> float:
         return self.admission_time
-        # W: for each unresolved-at-computation pair, the successor tid.
-        self._w_order: Dict[FrozenSet[int], int] = {}
 
     # -- admission: the chain-form constraint (Step 0 of CC1) ----------------
 
@@ -72,14 +72,14 @@ class ChainScheduler(WTPGScheduler):
             if len(component) < 2:
                 continue
             sources = [self.wtpg.source_weight(tid) for tid in component]
-            pairs = []
+            pairs: List[ChainPair] = []
             for left, right in zip(component, component[1:]):
                 edge = self.wtpg.pair(left, right)
                 if edge is None:
                     raise SchedulerError(
                         f"chain component lists non-adjacent pair "
                         f"T{left},T{right}")
-                fixed = None
+                fixed: Optional[str] = None
                 if edge.resolved:
                     fixed = DOWN if edge.resolved_to == right else UP
                 pairs.append(ChainPair(down=edge.weight_to(right),

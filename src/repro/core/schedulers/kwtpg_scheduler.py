@@ -35,7 +35,7 @@ testing).  Both produce identical values.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core import builder
 from repro.core.estimator import (INFINITE_CONTENTION, ContentionBatch,
@@ -142,7 +142,8 @@ class KWTPGScheduler(WTPGScheduler):
         return LockResponse(Decision.GRANT, cpu_cost=cost)
 
     @staticmethod
-    def _earliest_per_rival(declarations):
+    def _earliest_per_rival(
+            declarations: Iterable[Declaration]) -> List[Declaration]:
         """Each rival's earliest pending conflicting declaration on the
         requested granule.
 
@@ -155,7 +156,7 @@ class KWTPGScheduler(WTPGScheduler):
         very step being delayed) are handled separately by the
         deferral-cycle breaker in :meth:`_evaluate_grant`.
         """
-        earliest = {}
+        earliest: Dict[int, Declaration] = {}
         for decl in declarations:
             kept = earliest.get(decl.tid)
             if kept is None or decl.step_index < kept.step_index:
@@ -175,7 +176,7 @@ class KWTPGScheduler(WTPGScheduler):
         changes (start/commit/new precedence edge), so stale edges can
         at worst cause one early grant.
         """
-        seen = set()
+        seen: Set[int] = set()
         stack = [rival]
         while stack:
             node = stack.pop()

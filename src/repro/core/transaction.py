@@ -92,7 +92,11 @@ class TransactionSpec:
         self.tid = tid
         self.steps: Tuple[Step, ...] = tuple(steps)
         self.label = label
-        self._dues = self._suffix_sums(s.declared_cost for s in self.steps)
+        # declared_cost is never None after Step.__post_init__; the
+        # fallback only narrows the type for strict checking.
+        self._dues = self._suffix_sums(
+            s.declared_cost if s.declared_cost is not None else s.cost
+            for s in self.steps)
         self._actual_dues = self._suffix_sums(s.cost for s in self.steps)
 
     @staticmethod

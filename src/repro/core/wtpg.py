@@ -666,7 +666,7 @@ class WTPG:
         return problems
 
     def __repr__(self) -> str:
-        pairs = []
+        pairs: List[str] = []
         for edge in self._pairs.values():
             if edge.resolved:
                 pred = edge.predecessor()

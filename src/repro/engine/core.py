@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import (Any, Callable, Dict, Generator, Iterable, List, Optional,
+                    Tuple, Union)
 
 from repro.errors import EngineStateError
 
@@ -136,7 +137,8 @@ class Process(Event):
     handle failures with ordinary ``try``/``except``.
     """
 
-    def __init__(self, env: "Environment", generator: Generator) -> None:
+    def __init__(self, env: "Environment",
+                 generator: Generator["Event", Any, Any]) -> None:
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
@@ -151,13 +153,14 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         self.env._active_process = self
+        current: Union[Event, _FailureCarrier] = event
         while True:
             try:
-                if event._ok:
-                    next_event = self._generator.send(event._value)
+                if current._ok:
+                    next_event = self._generator.send(current._value)
                 else:
-                    event._defused = True
-                    next_event = self._generator.throw(event._value)
+                    current._defused = True
+                    next_event = self._generator.throw(current._value)
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
@@ -171,18 +174,18 @@ class Process(Event):
                 break
 
             if not isinstance(next_event, Event):
-                event = _failure(TypeError(
+                current = _failure(TypeError(
                     f"process yielded a non-event: {next_event!r}"))
                 continue
             if next_event.env is not self.env:
-                event = _failure(EngineStateError(
+                current = _failure(EngineStateError(
                     "process yielded an event from a different environment"))
                 continue
 
             self._target = next_event
             if next_event._processed:
                 # Already fired: resume synchronously with its value.
-                event = next_event
+                current = next_event
                 continue
             next_event.callbacks.append(self._resume)
             break
@@ -242,7 +245,7 @@ class Condition(Event):
             else:
                 event.callbacks.append(self._check)
 
-    def _collect(self) -> dict:
+    def _collect(self) -> Dict[Event, Any]:
         return {event: event._value for event in self._events
                 if event._processed}
 
@@ -277,7 +280,7 @@ class Environment:
 
     def __init__(self, initial_time: float = 0) -> None:
         self._now = initial_time
-        self._queue: List = []
+        self._queue: List[Tuple[float, int, Event]] = []
         self._seq = count()
         self._active_process: Optional[Process] = None
 
@@ -301,7 +304,7 @@ class Environment:
         """Create an event that fires ``delay`` units from now."""
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator) -> Process:
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
         """Start ``generator`` as a process; returns its process event."""
         return Process(self, generator)
 
@@ -336,7 +339,7 @@ class Environment:
             # A failure nobody waited on: surface it instead of losing it.
             raise event._value
 
-    def run(self, until: Optional[float] = None) -> Any:
+    def run(self, until: Union[float, Event, None] = None) -> Any:
         """Run until the queue drains, ``until`` time passes, or an event.
 
         ``until`` may be a number (run up to that time, then set ``now`` to

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Deque, List, Optional
+from typing import Any, Deque, List, Optional, Tuple
 from collections import deque
 
 from repro.engine.core import Environment, Event
@@ -133,7 +133,7 @@ class PriorityResource(Resource):
 
     def __init__(self, env: Environment, capacity: int = 1) -> None:
         super().__init__(env, capacity)
-        self._heap: List = []
+        self._heap: List[Tuple[float, int, PriorityRequest]] = []
         self._ticket = count()
 
     @property

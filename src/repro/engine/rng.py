@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Dict, Sequence, TypeVar
+from typing import Dict, List, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -62,7 +62,7 @@ class RandomStreams:
             raise ValueError("cannot choose from an empty sequence")
         return self.stream(name).choice(items)
 
-    def sample(self, name: str, items: Sequence[T], k: int) -> list:
+    def sample(self, name: str, items: Sequence[T], k: int) -> List[T]:
         """``k`` distinct uniformly random elements of ``items``."""
         if k > len(items):
             raise ValueError(f"cannot sample {k} items from {len(items)}")

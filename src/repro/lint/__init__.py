@@ -1,0 +1,52 @@
+"""repro-lint — project-specific static analysis for the WTPG core.
+
+The reproduction's correctness rests on conventions a general-purpose
+linter cannot know: all randomness flows through
+:mod:`repro.engine.rng`, every mutation of the WTPG's derived-state
+containers bumps a generation counter (runtime invariant 7 of
+:mod:`repro.core.invariants`), the estimator is the *only* friend module
+allowed inside :class:`~repro.core.wtpg.WTPG`'s private state, and
+critical-path floats are never compared with ``==`` in scheduler code.
+This package turns those conventions into machine-checked AST rules so a
+regression is caught at lint time instead of as a silently wrong
+schedule.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.lint src/          # or: repro-lint src/
+    repro-lint --json src/                            # machine-readable
+    repro-lint --list-rules                           # rule catalogue
+
+Rules (see ``docs/lint.md`` for the full catalogue and rationale):
+
+========  ==============================================================
+RL001     determinism: no ambient randomness/clocks outside engine/rng.py;
+          no iteration over unordered set expressions in core/ and engine/
+RL002     cache coherence: WTPG methods that mutate graph containers must
+          bump the generation counter on every path (static invariant 7)
+RL003     encapsulation: no ``wtpg._*`` access outside core/wtpg.py
+          (explicit friend-module allowlist for the estimator overlay)
+RL004     float equality: no ``==``/``!=`` on critical-path/weight floats
+          in core/schedulers/ (the infinity sentinel is exempt)
+RL005     exception hygiene: no bare excepts; no blind ``except Exception:
+          pass`` swallows
+RL000     lint hygiene: unparseable files and suppression comments
+          without a justification
+========  ==============================================================
+
+Suppressions: append ``# repro-lint: disable=RL001 -- <justification>``
+to the offending line.  The justification text after ``--`` is
+mandatory; a suppression without one is itself an RL000 violation.
+"""
+
+from repro.lint.engine import LintRunner, lint_paths
+from repro.lint.model import FileContext, Rule, Violation, all_rules
+
+__all__ = [
+    "FileContext",
+    "LintRunner",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "lint_paths",
+]

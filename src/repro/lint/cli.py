@@ -1,0 +1,62 @@
+"""Command-line entry point: ``repro-lint`` / ``python -m repro.lint``.
+
+Exit codes: 0 clean, 1 violations found, 2 usage error (e.g. a path that
+does not exist).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import (LintRunner, render_json, render_text)
+from repro.lint.model import all_rules
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Project-specific static analysis for the WTPG core "
+                    "(rules RL001-RL005; see docs/lint.md).")
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)")
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit a machine-readable JSON report instead of text")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    rules = all_rules()
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+
+    paths: List[Path] = []
+    for raw in args.paths:
+        path = Path(raw)
+        if not path.exists():
+            print(f"repro-lint: path does not exist: {raw}", file=sys.stderr)
+            return 2
+        paths.append(path)
+
+    runner = LintRunner(rules)
+    violations = runner.check_paths(paths)
+    if args.as_json:
+        print(render_json(violations, runner.files_checked, rules))
+    else:
+        print(render_text(violations, runner.files_checked))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

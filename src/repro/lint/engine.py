@@ -1,0 +1,127 @@
+"""File collection, rule dispatch and reporting for repro-lint."""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import repro.lint.rules  # noqa: F401  (imported for rule registration)
+from repro.lint.model import FileContext, Rule, Violation, all_rules
+from repro.lint.suppressions import apply_suppressions, parse_suppressions
+
+#: Rule id used for meta problems: unparseable files and malformed or
+#: unjustified suppression directives.
+META_RULE = "RL000"
+
+#: Directories never linted even when nested under a requested path.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
+
+
+def logical_path_of(path: Path) -> str:
+    """The package-relative posix path (``repro/core/wtpg.py``) of a file.
+
+    Falls back to the file's own posix path when it does not live inside
+    a ``repro`` package directory (fixtures pass an explicit override
+    instead of relying on this).
+    """
+    parts = path.resolve().parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return path.as_posix()
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    """All ``.py`` files under the given files/directories, sorted."""
+    seen: Dict[Path, None] = {}
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            seen.setdefault(path, None)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    seen.setdefault(candidate, None)
+    return list(seen)
+
+
+class LintRunner:
+    """Run a set of rules over files, honouring suppression directives."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        self.rules: List[Rule] = list(rules) if rules is not None else all_rules()
+        self.files_checked = 0
+
+    def check_source(self, source: str, display: str,
+                     logical: str) -> List[Violation]:
+        """Lint one in-memory source blob (the unit tests' entry point)."""
+        try:
+            tree = ast.parse(source, filename=display)
+        except SyntaxError as exc:
+            return [Violation(META_RULE, display, exc.lineno or 1,
+                              (exc.offset or 1) - 1,
+                              f"file does not parse: {exc.msg}")]
+        ctx = FileContext(display=display, logical=logical, source=source,
+                          tree=tree)
+        violations: List[Violation] = []
+        for rule in self.rules:
+            if rule.applies_to(ctx):
+                violations.extend(rule.check(ctx))
+        table = parse_suppressions(source)
+        violations, _used = apply_suppressions(violations, table)
+        for directive in table.values():
+            if not directive.justified:
+                violations.append(Violation(
+                    META_RULE, display, directive.line, 0,
+                    "suppression without a justification: write "
+                    "'# repro-lint: disable=RLxxx -- <why the contract "
+                    "does not apply here>'"))
+        violations.sort(key=lambda v: (v.file, v.line, v.col, v.rule_id))
+        return violations
+
+    def check_file(self, path: Path,
+                   logical: Optional[str] = None) -> List[Violation]:
+        source = path.read_text(encoding="utf-8")
+        self.files_checked += 1
+        return self.check_source(source, display=str(path),
+                                 logical=logical or logical_path_of(path))
+
+    def check_paths(self, paths: Sequence[Path]) -> List[Violation]:
+        violations: List[Violation] = []
+        for path in iter_python_files(paths):
+            violations.extend(self.check_file(path))
+        return violations
+
+
+def lint_paths(paths: Sequence[Path],
+               rules: Optional[Sequence[Rule]] = None,
+               ) -> Tuple[List[Violation], LintRunner]:
+    """Convenience wrapper: lint paths, return (violations, runner)."""
+    runner = LintRunner(rules)
+    return runner.check_paths(paths), runner
+
+
+def render_text(violations: Sequence[Violation], files_checked: int) -> str:
+    lines = [violation.render() for violation in violations]
+    noun = "file" if files_checked == 1 else "files"
+    if violations:
+        count = len(violations)
+        lines.append(f"repro-lint: {count} violation"
+                     f"{'s' if count != 1 else ''} "
+                     f"in {files_checked} {noun}")
+    else:
+        lines.append(f"repro-lint: clean ({files_checked} {noun})")
+    return "\n".join(lines)
+
+
+def render_json(violations: Sequence[Violation], files_checked: int,
+                rules: Sequence[Rule]) -> str:
+    payload = {
+        "tool": "repro-lint",
+        "version": 1,
+        "files_checked": files_checked,
+        "rules": [rule.rule_id for rule in rules],
+        "violations": [violation.as_dict() for violation in violations],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,125 @@
+"""Data model of the lint pass: violations, file context, rule registry.
+
+A :class:`Rule` sees one parsed file at a time through a
+:class:`FileContext` and yields :class:`Violation` objects.  Rules decide
+their own applicability from the file's *logical path* (its path inside
+the ``repro`` package), so fixture files in the test suite can
+impersonate any real module.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Type
+
+#: Attribute stashed on every AST node pointing at its parent node, so
+#: rules can look outward (e.g. "is this comprehension fed to sorted()?").
+PARENT_ATTR = "_repro_lint_parent"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding of one rule at one source location."""
+
+    rule_id: str
+    file: str          # path as given on the command line (for humans)
+    line: int          # 1-based
+    col: int           # 0-based, as in the ast module
+    message: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """One source file, parsed and located inside the package.
+
+    ``logical`` is the package-relative posix path (``repro/core/wtpg.py``)
+    used for rule applicability and allowlists; ``display`` is the path
+    reported to the user.  They differ for test fixtures, which pass an
+    explicit ``logical`` to impersonate a production module.
+    """
+
+    display: str
+    logical: str
+    source: str
+    tree: ast.Module = field(repr=False)
+
+    def __post_init__(self) -> None:
+        # Parent links let rules inspect enclosing nodes without keeping
+        # their own stacks.
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                setattr(child, PARENT_ATTR, parent)
+
+    def parent(self, node: ast.AST) -> ast.AST:
+        return getattr(node, PARENT_ATTR, self.tree)
+
+    def in_dir(self, package_dir: str) -> bool:
+        """True if the file lives under ``repro/<package_dir>/``."""
+        return self.logical.startswith(f"repro/{package_dir}/")
+
+    def is_module(self, logical_path: str) -> bool:
+        return self.logical == logical_path
+
+
+class Rule:
+    """Base class for lint rules; subclasses register themselves."""
+
+    #: Stable identifier, e.g. ``"RL001"``; used in output and suppressions.
+    rule_id: str = ""
+    #: One-line summary shown by ``--list-rules``.
+    summary: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: FileContext, node: ast.AST,
+                  message: str) -> Violation:
+        return Violation(self.rule_id, ctx.display,
+                         getattr(node, "lineno", 1),
+                         getattr(node, "col_offset", 0), message)
+
+
+_REGISTRY: List[Type[Rule]] = []
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    if any(existing.rule_id == cls.rule_id for existing in _REGISTRY):
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY.append(cls)
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in id order."""
+    return [cls() for cls in sorted(_REGISTRY, key=lambda c: c.rule_id)]
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for a Name/Attribute chain, or "" if not a plain chain."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""

@@ -1,0 +1,586 @@
+"""The project-specific rules RL001–RL005.
+
+Each rule encodes a contract the runtime invariant suite or reviewer
+discipline used to carry alone; ``docs/lint.md`` ties every rule to the
+paper / PR-1 design decision it protects.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.lint.model import (FileContext, Rule, Violation, dotted_name,
+                              register_rule)
+
+# ---------------------------------------------------------------------------
+# RL001 — determinism
+# ---------------------------------------------------------------------------
+
+#: The only module allowed to touch ambient randomness: it derives named,
+#: seeded substreams for everything else.
+RNG_MODULES = frozenset({"repro/engine/rng.py"})
+
+#: Importing these modules is the gateway to nondeterminism.
+_BANNED_IMPORTS = frozenset({"random", "secrets"})
+
+#: Wall-clock / entropy calls that make a run irreproducible.  Matched as
+#: dotted-name suffixes, so ``datetime.datetime.now`` is caught too.
+_BANNED_CALLS = (
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+    "os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4",
+)
+
+#: Consumers whose result does not depend on iteration order; a set-typed
+#: comprehension feeding one of these is deterministic by construction.
+_ORDER_INSENSITIVE = frozenset({
+    "sorted", "sum", "max", "min", "set", "frozenset", "any", "all",
+    "len", "heapify",
+})
+
+_SET_METHODS = frozenset({
+    "intersection", "union", "difference", "symmetric_difference", "keys",
+})
+
+
+def _is_unordered_expr(node: ast.AST) -> bool:
+    """Syntactically certain to produce a hash-ordered container."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in (
+                "set", "frozenset"):
+            return True
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_METHODS):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)):
+        # Only certain when an operand is itself visibly a set; a bare
+        # ``a | b`` of two names could be integers.
+        return _is_unordered_expr(node.left) or _is_unordered_expr(node.right)
+    return False
+
+
+@register_rule
+class DeterminismRule(Rule):
+    """RL001: randomness/clocks only via engine/rng.py; ordered iteration.
+
+    The simulator's claim to bit-reproducibility (same seed, same
+    schedule — the property every PR-1 equivalence test rests on) holds
+    only while (a) every random draw flows through the named streams of
+    :mod:`repro.engine.rng` and (b) no scheduling decision consumes a
+    hash-ordered iteration.  The iteration check is syntactic and
+    conservative: it flags loops whose iterable is *visibly* a set
+    expression, in ``core/`` and ``engine/`` only, and exempts
+    comprehensions consumed by order-insensitive reducers.
+    """
+
+    rule_id = "RL001"
+    summary = ("no ambient randomness/clocks outside engine/rng.py; "
+               "no unordered-set iteration in core/ and engine/")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.logical not in RNG_MODULES
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        check_iteration = ctx.in_dir("core") or ctx.in_dir("engine")
+        for node in ast.walk(ctx.tree):
+            yield from self._check_imports(ctx, node)
+            yield from self._check_calls(ctx, node)
+            if check_iteration:
+                yield from self._check_iteration(ctx, node)
+
+    def _check_imports(self, ctx: FileContext,
+                       node: ast.AST) -> Iterator[Violation]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _BANNED_IMPORTS:
+                    yield self.violation(
+                        ctx, node,
+                        f"import of {alias.name!r}: draw randomness from "
+                        "repro.engine.rng.RandomStreams instead")
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            if root in _BANNED_IMPORTS:
+                yield self.violation(
+                    ctx, node,
+                    f"import from {node.module!r}: draw randomness from "
+                    "repro.engine.rng.RandomStreams instead")
+
+    def _check_calls(self, ctx: FileContext,
+                     node: ast.AST) -> Iterator[Violation]:
+        if not isinstance(node, ast.Call):
+            return
+        dotted = dotted_name(node.func)
+        if not dotted:
+            return
+        for banned in _BANNED_CALLS:
+            if dotted == banned or dotted.endswith("." + banned):
+                yield self.violation(
+                    ctx, node,
+                    f"call to {dotted}(): wall-clock/entropy breaks "
+                    "seeded reproducibility — use simulation time or a "
+                    "named RandomStreams stream")
+                return
+
+    def _check_iteration(self, ctx: FileContext,
+                         node: ast.AST) -> Iterator[Violation]:
+        if isinstance(node, ast.For):
+            if _is_unordered_expr(node.iter):
+                yield self.violation(
+                    ctx, node.iter,
+                    "iteration over an unordered set expression: wrap in "
+                    "sorted() or keep an insertion-ordered index "
+                    "(dict-as-ordered-set)")
+        elif isinstance(node, (ast.GeneratorExp, ast.ListComp)):
+            parent = ctx.parent(node)
+            if (isinstance(parent, ast.Call)
+                    and isinstance(parent.func, ast.Name)
+                    and parent.func.id in _ORDER_INSENSITIVE):
+                return
+            for comp in node.generators:
+                if _is_unordered_expr(comp.iter):
+                    yield self.violation(
+                        ctx, comp.iter,
+                        "comprehension over an unordered set expression "
+                        "feeds an order-sensitive consumer: wrap in sorted()")
+
+
+# ---------------------------------------------------------------------------
+# RL002 — generation-counter coherence (static invariant 7)
+# ---------------------------------------------------------------------------
+
+#: The graph-defining containers of WTPG.  Anything else (``_cp_dist``,
+#: ``_topo_order``, the closure caches…) is *derived* state guarded by
+#: the generations these mutations must bump.
+WATCHED_ATTRS = frozenset({
+    "_source", "_sink", "_pairs", "_neighbors", "_succ", "_pred",
+    "_unresolved",
+})
+
+#: Statements that count as invalidation: bumping a generation counter or
+#: calling a helper that does.
+BUMP_ATTRS = frozenset({"_generation", "_structure_gen"})
+INVALIDATION_HELPERS = frozenset({"_note_edge_weight", "_invalidate_caches"})
+
+_MUTATOR_METHODS = frozenset({
+    "add", "discard", "remove", "pop", "popitem", "clear", "update",
+    "setdefault", "append", "extend", "insert",
+})
+
+
+def _watched_root(node: ast.AST) -> Optional[str]:
+    """The watched ``self.X`` a subscript/attribute chain is rooted at."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in WATCHED_ATTRS):
+        return node.attr
+    return None
+
+
+def _statement_mutations(stmt: ast.stmt) -> List[Tuple[ast.stmt, str]]:
+    """Watched-container mutations performed directly by one statement."""
+    found: List[Tuple[ast.stmt, str]] = []
+    if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                   else [stmt.target])
+        for target in targets:
+            if isinstance(target, ast.Subscript):
+                attr = _watched_root(target)
+                if attr:
+                    found.append((stmt, attr))
+            elif isinstance(target, ast.Attribute):
+                attr = _watched_root(target)
+                if attr:
+                    found.append((stmt, attr))
+    elif isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            attr = _watched_root(target)
+            if attr:
+                found.append((stmt, attr))
+    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        func = stmt.value.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATOR_METHODS:
+            attr = _watched_root(func.value)
+            if attr:
+                found.append((stmt, attr))
+    return found
+
+
+def _is_bump(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+        targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                   else [stmt.target])
+        for target in targets:
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr in BUMP_ATTRS):
+                return True
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        func = stmt.value.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and func.attr in INVALIDATION_HELPERS):
+            return True
+    return False
+
+
+_TERMINATED = "terminated"
+
+
+@register_rule
+class CacheCoherenceRule(Rule):
+    """RL002: WTPG mutations must bump a generation counter on every path.
+
+    This is the static counterpart of runtime invariant 7
+    (:meth:`repro.core.wtpg.WTPG.cache_violations`): the incremental
+    topological order, closure memos and critical-path dist cache are
+    only allowed to trust their generation guards because *every*
+    mutation of the graph-defining containers bumps ``_generation`` /
+    ``_structure_gen`` (directly or via an invalidation helper).  The
+    check walks each method's statement tree path-sensitively: an open
+    mutation reaching a ``return`` or the end of the method without an
+    intervening bump is a violation.  (``raise`` paths are exempt — an
+    exception mid-mutation is already a hard failure.)
+    """
+
+    rule_id = "RL002"
+    summary = ("WTPG methods mutating graph containers must bump the "
+               "generation counter on every path")
+
+    #: Methods that build rather than mutate: ``__init__`` creates the
+    #: containers, so there is no pre-existing derived state to guard.
+    EXEMPT_METHODS = frozenset({"__init__"})
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.is_module("repro/core/wtpg.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef) or node.name != "WTPG":
+                continue
+            for item in node.body:
+                if (isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and item.name not in self.EXEMPT_METHODS):
+                    yield from self._check_method(ctx, item)
+
+    def _check_method(self, ctx: FileContext,
+                      func: ast.FunctionDef) -> Iterator[Violation]:
+        violations: List[Violation] = []
+        open_after = self._scan(ctx, func.name, func.body, [], violations)
+        if open_after is not _TERMINATED:
+            for stmt, attr in open_after:
+                violations.append(self.violation(
+                    ctx, stmt,
+                    f"WTPG.{func.name} mutates self.{attr} on a path that "
+                    "never bumps the generation counter "
+                    "(self._generation / self._structure_gen or an "
+                    "invalidation helper)"))
+        yield from violations
+
+    def _scan(self, ctx: FileContext, method: str, body: List[ast.stmt],
+              open_muts: List[Tuple[ast.stmt, str]],
+              violations: List[Violation]):
+        """Walk a statement list; returns the still-open mutations after
+        it, or ``_TERMINATED`` if every path through it returns/raises."""
+        current = list(open_muts)
+        for stmt in body:
+            if _is_bump(stmt):
+                current = []
+                continue
+            current.extend(_statement_mutations(stmt))
+            if isinstance(stmt, ast.Return):
+                for mutation, attr in current:
+                    violations.append(self.violation(
+                        ctx, stmt,
+                        f"WTPG.{method} returns after mutating self.{attr} "
+                        "without bumping the generation counter"))
+                return _TERMINATED
+            if isinstance(stmt, ast.Raise):
+                return _TERMINATED  # exception paths are exempt
+            if isinstance(stmt, ast.If):
+                then_open = self._scan(ctx, method, stmt.body, current,
+                                       violations)
+                else_open = self._scan(ctx, method, stmt.orelse, current,
+                                       violations)
+                if then_open is _TERMINATED and else_open is _TERMINATED:
+                    return _TERMINATED
+                merged: List[Tuple[ast.stmt, str]] = []
+                for branch in (then_open, else_open):
+                    if branch is not _TERMINATED:
+                        for entry in branch:
+                            if entry not in merged:
+                                merged.append(entry)
+                current = merged
+            elif isinstance(stmt, (ast.For, ast.While)):
+                loop_open = self._scan(ctx, method, stmt.body, current,
+                                       violations)
+                if loop_open is not _TERMINATED:
+                    for entry in loop_open:
+                        if entry not in current:
+                            current.append(entry)
+                else_open = self._scan(ctx, method, stmt.orelse, current,
+                                       violations)
+                if else_open is not _TERMINATED:
+                    current = else_open
+            elif isinstance(stmt, ast.With):
+                with_open = self._scan(ctx, method, stmt.body, current,
+                                       violations)
+                if with_open is _TERMINATED:
+                    return _TERMINATED
+                current = with_open
+            elif isinstance(stmt, ast.Try):
+                try_open = self._scan(ctx, method, stmt.body, current,
+                                      violations)
+                merged = list(current if try_open is _TERMINATED
+                              else try_open)
+                for handler in stmt.handlers:
+                    handler_open = self._scan(ctx, method, handler.body,
+                                              merged, violations)
+                    if handler_open is not _TERMINATED:
+                        for entry in handler_open:
+                            if entry not in merged:
+                                merged.append(entry)
+                final_open = self._scan(ctx, method, stmt.finalbody, merged,
+                                        violations)
+                current = (merged if final_open is _TERMINATED
+                           else final_open)
+        return current
+
+
+# ---------------------------------------------------------------------------
+# RL003 — WTPG encapsulation
+# ---------------------------------------------------------------------------
+
+#: Friend-module allowlist.  The overlay estimator reads (never writes)
+#: exactly these private structures for its copy-free delta evaluation;
+#: each entry is justified in docs/lint.md.
+RL003_ATTR_ALLOWLIST: Dict[str, FrozenSet[str]] = {
+    "repro/core/estimator.py": frozenset({
+        "_cp_dist",   # cached base dist table primed via critical_path_length
+        "_succ",      # live precedence adjacency (read-only overlay base)
+        "_pred",
+        "_source",    # node weights for the affected-suffix dist DP
+        "_sink",
+        "_pairs",     # edge weights for the dist DP
+    }),
+}
+
+#: Private names importable from repro.core.wtpg, per friend module.
+RL003_IMPORT_ALLOWLIST: Dict[str, FrozenSet[str]] = {
+    "repro/core/estimator.py": frozenset({"_pair"}),
+}
+
+
+def _is_wtpg_expr(node: ast.AST) -> bool:
+    """Does this expression (very likely) evaluate to a WTPG?
+
+    Matches the naming conventions of the codebase: local/param names
+    ``wtpg``/``*_wtpg``/``graph`` and attribute chains ending ``.wtpg``.
+    """
+    if isinstance(node, ast.Name):
+        name = node.id.lower()
+        return name == "wtpg" or name.endswith("_wtpg") or name == "graph"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "wtpg"
+    return False
+
+
+@register_rule
+class EncapsulationRule(Rule):
+    """RL003: WTPG private state stays inside core/wtpg.py.
+
+    PR 1 made every ``_``-prefixed WTPG structure a cache-coherence
+    liability: external readers bypass the generation guards, and
+    external *writers* would corrupt them silently.  The only sanctioned
+    exception is the estimator's friend-module overlay (read-only,
+    allowlisted attribute by attribute).
+    """
+
+    rule_id = "RL003"
+    summary = ("no wtpg._* access outside core/wtpg.py "
+               "(explicit allowlist for the estimator overlay)")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.is_module("repro/core/wtpg.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        allowed_attrs = RL003_ATTR_ALLOWLIST.get(ctx.logical, frozenset())
+        allowed_imports = RL003_IMPORT_ALLOWLIST.get(ctx.logical, frozenset())
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                if (node.attr.startswith("_")
+                        and not node.attr.startswith("__")
+                        and _is_wtpg_expr(node.value)
+                        and node.attr not in allowed_attrs):
+                    yield self.violation(
+                        ctx, node,
+                        f"access to WTPG private attribute {node.attr!r} "
+                        "outside core/wtpg.py: use the public API or extend "
+                        "the RL003 allowlist with a documented rationale")
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module or "").endswith("core.wtpg"):
+                    for alias in node.names:
+                        if (alias.name.startswith("_")
+                                and alias.name not in allowed_imports):
+                            yield self.violation(
+                                ctx, node,
+                                f"import of private {alias.name!r} from "
+                                "repro.core.wtpg: use the public API or "
+                                "extend the RL003 allowlist")
+
+
+# ---------------------------------------------------------------------------
+# RL004 — float equality in scheduler code
+# ---------------------------------------------------------------------------
+
+#: snake_case tokens marking an identifier as a critical-path/weight float.
+_FLOAT_TOKENS = frozenset({
+    "cost", "costs", "weight", "weights", "dist", "crit", "critical",
+    "peak", "due", "dues", "cp", "contention",
+})
+
+#: ``e``, ``e_q``, ``e_rival`` — the paper's estimator values.
+_E_NAME = re.compile(r"^e(_[a-z0-9]+)?$")
+
+#: Calls whose result is a critical-path/weight float.
+_FLOAT_FUNCS = frozenset({
+    "critical_path_length", "estimate", "estimate_contention",
+    "source_weight", "weight_to", "due", "actual_due",
+    "chain_critical_path",
+})
+
+#: Comparisons against the IEEE infinity sentinel are exact and sanctioned.
+_INF_NAMES = frozenset({"INFINITE_CONTENTION", "inf"})
+
+
+def _float_identifier(name: str) -> bool:
+    lowered = name.lower()
+    if _E_NAME.match(lowered):
+        return True
+    return any(token in _FLOAT_TOKENS for token in lowered.split("_"))
+
+
+def _is_float_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return _float_identifier(node.id)
+    if isinstance(node, ast.Attribute):
+        return _float_identifier(node.attr)
+    if isinstance(node, ast.Call):
+        func = node.func
+        terminal = (func.id if isinstance(func, ast.Name)
+                    else func.attr if isinstance(func, ast.Attribute)
+                    else "")
+        return terminal in _FLOAT_FUNCS
+    return False
+
+
+def _is_inf_sentinel(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name) and node.id in _INF_NAMES:
+        return True
+    if isinstance(node, ast.Attribute) and node.attr in _INF_NAMES:
+        return True
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id == "float" and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value == "inf"):
+        return True
+    return False
+
+
+@register_rule
+class FloatEqualityRule(Rule):
+    """RL004: no ``==``/``!=`` between weight/critical-path floats.
+
+    The exact-float equivalence of the overlay and reference estimators
+    is a *tested contract* (tests/core/test_estimator_equivalence.py),
+    not a licence for ad-hoc equality in scheduler decisions: two E
+    values that should tie can differ in the last ulp if one was computed
+    incrementally, silently flipping a grant.  Compare with ``<``/``<=``
+    (the grant rule needs only an order) or against the infinity
+    sentinel, which is exempt because IEEE infinity is exact.
+    """
+
+    rule_id = "RL004"
+    summary = ("no ==/!= on critical-path/weight floats in "
+               "core/schedulers/ (infinity sentinel exempt)")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_dir("core/schedulers")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_inf_sentinel(left) or _is_inf_sentinel(right):
+                    continue
+                if _is_float_expr(left) or _is_float_expr(right):
+                    yield self.violation(
+                        ctx, node,
+                        "==/!= between critical-path/weight floats: use an "
+                        "ordering comparison, math.isclose, or the "
+                        "INFINITE_CONTENTION sentinel")
+
+
+# ---------------------------------------------------------------------------
+# RL005 — exception hygiene
+# ---------------------------------------------------------------------------
+
+_BLIND_TYPES = frozenset({"Exception", "BaseException"})
+
+
+def _names_blind_type(node: Optional[ast.expr]) -> bool:
+    if node is None:
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in _BLIND_TYPES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _BLIND_TYPES
+    if isinstance(node, ast.Tuple):
+        return any(_names_blind_type(item) for item in node.elts)
+    return False
+
+
+@register_rule
+class ExceptionHygieneRule(Rule):
+    """RL005: no bare excepts; no silent broad-exception swallows.
+
+    The exception hierarchy in :mod:`repro.errors` exists so callers can
+    catch precisely; a bare/blind except hides WTPG inconsistencies
+    (:class:`SchedulerError` and friends) that the invariant suite is
+    designed to surface loudly.
+    """
+
+    rule_id = "RL005"
+    summary = "no bare excepts; no 'except Exception: pass' swallows"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    ctx, node,
+                    "bare except: catch a class from repro.errors (or at "
+                    "minimum Exception) and handle or re-raise it")
+            elif (_names_blind_type(node.type)
+                  and len(node.body) == 1
+                  and isinstance(node.body[0], ast.Pass)):
+                yield self.violation(
+                    ctx, node,
+                    "except Exception: pass silently swallows library "
+                    "errors: narrow the type or handle the failure")

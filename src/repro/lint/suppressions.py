@@ -1,0 +1,62 @@
+"""Suppression comments: ``# repro-lint: disable=RL001 -- justification``.
+
+A suppression silences the named rule(s) on its own line only.  The
+justification after ``--`` is mandatory: an unjustified suppression is
+an RL000 violation, so every escape hatch in the tree documents *why*
+the contract does not apply there.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.lint.model import Violation
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]*?)"
+    r"(?:\s*--\s*(?P<why>.*?))?\s*$")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed directive: which rules it silences and its rationale."""
+
+    line: int
+    rule_ids: FrozenSet[str]
+    justification: str
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification.strip())
+
+
+def parse_suppressions(source: str) -> Dict[int, Suppression]:
+    """All suppression directives of a file, keyed by 1-based line."""
+    out: Dict[int, Suppression] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            continue
+        rule_ids = frozenset(
+            part.strip().upper()
+            for part in match.group("rules").split(",") if part.strip())
+        out[lineno] = Suppression(lineno, rule_ids, match.group("why") or "")
+    return out
+
+
+def apply_suppressions(
+        violations: List[Violation],
+        table: Dict[int, Suppression]) -> Tuple[List[Violation], List[Suppression]]:
+    """Drop suppressed violations; also return the directives actually used."""
+    kept: List[Violation] = []
+    used: List[Suppression] = []
+    for violation in violations:
+        directive = table.get(violation.line)
+        if directive is not None and violation.rule_id in directive.rule_ids:
+            if directive not in used:
+                used.append(directive)
+            continue
+        kept.append(violation)
+    return kept, used

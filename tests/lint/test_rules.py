@@ -1,0 +1,239 @@
+"""Each rule RL001-RL005 fires on its bad fixture and stays silent on
+the good one.
+
+Fixtures are in-memory sources checked through
+:meth:`repro.lint.LintRunner.check_source`, whose explicit ``logical``
+path lets a fixture impersonate any production module (rules decide
+applicability from the logical path, not the on-disk location).
+"""
+
+import textwrap
+
+from repro.lint import LintRunner
+
+
+def lint(source, logical):
+    runner = LintRunner()
+    return runner.check_source(textwrap.dedent(source),
+                               display="<fixture>", logical=logical)
+
+
+def rule_ids(violations):
+    return [v.rule_id for v in violations]
+
+
+# -- RL001: determinism -------------------------------------------------------
+
+RL001_BAD = """\
+    import random
+    import time
+
+    def jitter():
+        return time.time()
+
+    def collect():
+        out = []
+        for tid in {3, 1, 2}:
+            out.append(tid)
+        return out
+"""
+
+RL001_GOOD = """\
+    def collect(pending):
+        total = sum(x for x in {1, 2, 3})
+        out = []
+        for tid in sorted({3, 1, 2}):
+            out.append(tid + total)
+        return out
+"""
+
+
+def test_rl001_fires_on_randomness_clock_and_set_iteration():
+    found = rule_ids(lint(RL001_BAD, "repro/core/example.py"))
+    assert found.count("RL001") == 3
+    assert set(found) == {"RL001"}
+
+
+def test_rl001_silent_on_good_fixture():
+    assert lint(RL001_GOOD, "repro/core/example.py") == []
+
+
+def test_rl001_set_iteration_only_checked_in_core_and_engine():
+    source = """\
+        def collect():
+            return [tid for tid in {3, 1, 2}]
+    """
+    assert lint(source, "repro/core/example.py") != []
+    assert lint(source, "repro/engine/example.py") != []
+    assert lint(source, "repro/workloads/example.py") == []
+
+
+def test_rl001_rng_module_itself_is_exempt():
+    assert lint("import random\n", "repro/engine/rng.py") == []
+    assert lint("import random\n", "repro/engine/example.py") != []
+
+
+# -- RL002: generation-counter coherence --------------------------------------
+
+RL002_BAD = """\
+    class WTPG:
+        def __init__(self):
+            self._source = {}
+            self._generation = 0
+
+        def add_transaction(self, tid, weight):
+            self._source[tid] = weight
+
+        def resolve(self, tid):
+            self._succ[tid].add(tid)
+            if tid > 0:
+                self._generation += 1
+            return tid
+"""
+
+RL002_GOOD = """\
+    class WTPG:
+        def __init__(self):
+            self._source = {}
+            self._generation = 0
+
+        def add_transaction(self, tid, weight):
+            self._source[tid] = weight
+            self._generation += 1
+
+        def remove_transaction(self, tid):
+            if tid not in self._source:
+                raise KeyError(tid)
+            del self._source[tid]
+            self._note_edge_weight(tid)
+
+        def peek(self, tid):
+            return self._source[tid]
+"""
+
+
+def test_rl002_fires_on_unbumped_mutations():
+    violations = lint(RL002_BAD, "repro/core/wtpg.py")
+    assert rule_ids(violations) == ["RL002", "RL002"]
+    # One open mutation reaches the end of add_transaction; the other
+    # escapes through the bump-free else path into the return.
+    assert violations[0].line == 7
+    assert "add_transaction" in violations[0].message
+    assert "resolve" in violations[1].message
+
+
+def test_rl002_silent_when_every_path_bumps_or_raises():
+    assert lint(RL002_GOOD, "repro/core/wtpg.py") == []
+
+
+def test_rl002_only_applies_to_the_real_wtpg_module():
+    assert lint(RL002_BAD, "repro/core/other.py") == []
+
+
+# -- RL003: encapsulation -----------------------------------------------------
+
+RL003_BAD = """\
+    from repro.core.wtpg import _pair
+
+    def peek(wtpg):
+        return wtpg._cp_dist
+"""
+
+RL003_GOOD = """\
+    def peek(wtpg):
+        return wtpg.critical_path_length()
+"""
+
+
+def test_rl003_fires_on_private_access_and_import():
+    found = rule_ids(lint(RL003_BAD, "repro/core/schedulers/example.py"))
+    assert found == ["RL003", "RL003"]
+
+
+def test_rl003_silent_on_public_api():
+    assert lint(RL003_GOOD, "repro/core/schedulers/example.py") == []
+
+
+def test_rl003_estimator_allowlist():
+    allowed = """\
+        from repro.core.wtpg import WTPG, _pair
+
+        def read(wtpg):
+            return wtpg._cp_dist, wtpg._succ, wtpg._pred
+    """
+    assert lint(allowed, "repro/core/estimator.py") == []
+    # The allowlist is attribute-exact: anything beyond it still fires.
+    beyond = """\
+        def read(wtpg):
+            return wtpg._unresolved
+    """
+    assert rule_ids(lint(beyond, "repro/core/estimator.py")) == ["RL003"]
+
+
+# -- RL004: float equality ----------------------------------------------------
+
+RL004_BAD = """\
+    def decide(e_q, e_rival, peak, best_peak):
+        if e_q == e_rival:
+            return "tie"
+        return peak != best_peak
+"""
+
+RL004_GOOD = """\
+    def decide(e_q, e_rival, count, mode):
+        if e_q == INFINITE_CONTENTION:
+            return False
+        if count == 3 and mode == "overlay":
+            return True
+        return e_q <= e_rival
+"""
+
+
+def test_rl004_fires_on_float_equality():
+    found = rule_ids(lint(RL004_BAD, "repro/core/schedulers/example.py"))
+    assert found == ["RL004", "RL004"]
+
+
+def test_rl004_allows_sentinel_ordering_and_nonfloat_equality():
+    assert lint(RL004_GOOD, "repro/core/schedulers/example.py") == []
+
+
+def test_rl004_scoped_to_schedulers():
+    assert lint(RL004_BAD, "repro/core/estimator.py") == []
+
+
+# -- RL005: exception hygiene -------------------------------------------------
+
+RL005_BAD = """\
+    def run(task):
+        try:
+            task()
+        except:
+            pass
+        try:
+            task()
+        except Exception:
+            pass
+"""
+
+RL005_GOOD = """\
+    def run(task, log):
+        try:
+            task()
+        except ValueError:
+            return None
+        try:
+            task()
+        except Exception as exc:
+            log(exc)
+            raise
+"""
+
+
+def test_rl005_fires_on_bare_and_blind_excepts():
+    found = rule_ids(lint(RL005_BAD, "repro/machine/example.py"))
+    assert found == ["RL005", "RL005"]
+
+
+def test_rl005_silent_on_narrow_or_reraising_handlers():
+    assert lint(RL005_GOOD, "repro/machine/example.py") == []
