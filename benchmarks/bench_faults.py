@@ -1,0 +1,84 @@
+"""Fault-injection benchmark: throughput degradation vs abort rate.
+
+Sweeps the fault plan's per-admission assassination probability for the
+paper's two WTPG schedulers and the classic 2PL baseline, on Pattern1.
+The interesting contrast: the WTPG schedulers lose throughput *linearly*
+in the injected rate (aborts waste already-done bulk work but the graph
+heals via node excision), while 2PL stacks injected aborts on top of its
+own deadlock restarts.
+
+The final parametrization writes ``BENCH_faults.json`` at the repo root
+with the full curve, so CI archives the degradation profile.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from conftest import print_series, run_point
+from repro.faults import FaultPlan
+from repro.workloads import pattern1, pattern1_catalog
+
+RATE = 0.6
+FAULT_RATES = (0.0, 0.1, 0.25, 0.5)
+SCHEDULERS = ("CHAIN", "K2", "2PL")
+
+_results = {}
+
+
+def _plan(fault_rate):
+    return FaultPlan(abort_rate=fault_rate) if fault_rate > 0.0 else None
+
+
+@pytest.mark.parametrize("fault_rate", FAULT_RATES)
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_throughput_vs_fault_rate(benchmark, scheduler, fault_rate):
+    def one():
+        return run_point(scheduler, RATE, pattern1(16), pattern1_catalog(),
+                         num_partitions=16, fault_plan=_plan(fault_rate))
+
+    result = benchmark.pedantic(one, rounds=1, iterations=1)
+    metrics = result.metrics
+    _results[(scheduler, fault_rate)] = metrics
+    assert metrics.commits > 0
+    if fault_rate > 0.0:
+        assert metrics.fault_aborts > 0
+        assert metrics.restarts > 0
+    else:
+        assert metrics.fault_aborts == 0
+
+    if len(_results) == len(SCHEDULERS) * len(FAULT_RATES):
+        _report()
+
+
+def _report():
+    print_series(
+        f"Throughput (TPS) vs injected abort rate (Pattern1, lambda={RATE})",
+        "abort rate", list(FAULT_RATES),
+        {name: [_results[(name, rate)].throughput_tps
+                for rate in FAULT_RATES]
+         for name in SCHEDULERS})
+    payload = {
+        "workload": "pattern1", "arrival_rate_tps": RATE,
+        "fault_rates": list(FAULT_RATES),
+        "series": {
+            name: [
+                {"fault_rate": rate,
+                 "throughput_tps": _results[(name, rate)].throughput_tps,
+                 "commits": _results[(name, rate)].commits,
+                 "aborts": _results[(name, rate)].aborts,
+                 "fault_aborts": _results[(name, rate)].fault_aborts,
+                 "restarts": _results[(name, rate)].restarts,
+                 "wasted_objects": _results[(name, rate)].wasted_objects}
+                for rate in FAULT_RATES]
+            for name in SCHEDULERS},
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_faults.json"
+    out.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    print(f"wrote {out}")
+    # Injected faults must actually cost throughput.
+    for name in SCHEDULERS:
+        clean = _results[(name, 0.0)].throughput_tps
+        worst = _results[(name, FAULT_RATES[-1])].throughput_tps
+        assert worst <= clean, f"{name}: faults improved throughput?"

@@ -20,14 +20,15 @@ BENCH_SEED = 1
 
 
 def run_point(scheduler: str, rate: float, workload, catalog,
-              num_partitions: int, **overrides):
+              num_partitions: int, fault_plan=None, **overrides):
     """One simulation point with the benchmark defaults."""
     params = SimulationParameters(
         scheduler=scheduler, arrival_rate_tps=rate,
         sim_clocks=overrides.pop("sim_clocks", BENCH_CLOCKS),
         seed=overrides.pop("seed", BENCH_SEED),
         num_partitions=num_partitions, **overrides)
-    return run_simulation(params, workload, catalog=catalog)
+    return run_simulation(params, workload, catalog=catalog,
+                          fault_plan=fault_plan)
 
 
 def print_series(title: str, x_label: str, xs, series) -> None:

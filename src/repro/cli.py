@@ -83,6 +83,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--rate", type=float, default=0.5)
     run.add_argument("--clocks", type=float, default=400_000)
     run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--faults", type=str, default=None, metavar="PLAN.json",
+                     help="fault-injection plan (JSON, see docs/faults.md)")
 
     verify = sub.add_parser(
         "verify", help="check every paper claim on scaled runs (PASS/FAIL)")
@@ -128,7 +130,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
                                   arrival_rate_tps=args.rate,
                                   sim_clocks=args.clocks, seed=args.seed,
                                   num_partitions=16)
-    result = run_simulation(params, pattern1(), catalog=pattern1_catalog())
+    fault_plan = None
+    if args.faults is not None:
+        from repro.faults import FaultPlan
+        fault_plan = FaultPlan.from_file(args.faults)
+    result = run_simulation(params, pattern1(), catalog=pattern1_catalog(),
+                            fault_plan=fault_plan)
     m = result.metrics
     rows = [
         ("scheduler", m.scheduler),
@@ -141,6 +148,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ("CN utilization", f"{m.cn_utilization:.1%}"),
         ("lock retries", m.lock_retries),
     ]
+    if fault_plan is not None:
+        rows += [
+            ("aborts (all causes)", m.aborts),
+            ("  injected", m.fault_aborts),
+            ("  node crash", m.crash_aborts),
+            ("  cascade", m.cascade_aborts),
+            ("restarts completed", m.restarts),
+            ("node crashes", m.node_crashes),
+            ("wasted objects", f"{m.wasted_objects:.1f}"),
+            ("fault timeline events", len(m.fault_timeline)),
+        ]
     print(format_table(["metric", "value"], rows))
     return 0
 

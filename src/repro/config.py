@@ -65,6 +65,15 @@ class SimulationParameters:
     retry_delay: float = 500.0
     """Fixed delay before re-submitting a delayed/aborted request."""
 
+    retry_policy: str = "fixed"
+    """Restart backoff for *aborted* transactions: 'fixed' (retry_delay),
+    'immediate' (re-submit in the same instant) or 'exponential'
+    (retry_delay doubling per attempt, clamped at retry_backoff_cap).
+    A fault plan's own retry policy, when given, overrides this."""
+
+    retry_backoff_cap: float = 0.0
+    """Upper bound for exponential restart backoff; 0 means unbounded."""
+
     # -- workload / run ------------------------------------------------------
     arrival_rate_tps: float = 0.5
     """Mean transaction arrival rate, transactions per second (Poisson)."""
@@ -111,6 +120,11 @@ class SimulationParameters:
             # Zero would make a blocked transaction re-request forever at
             # one instant: the simulation clock could never advance.
             raise ConfigurationError("retry_delay must be positive")
+        if self.retry_policy not in ("fixed", "immediate", "exponential"):
+            raise ConfigurationError(
+                "retry_policy must be 'fixed', 'immediate' or 'exponential'")
+        if self.retry_backoff_cap < 0:
+            raise ConfigurationError("retry_backoff_cap must be non-negative")
         if self.k_conflicts < 0:
             raise ConfigurationError("k_conflicts must be non-negative")
         if self.estimator_mode not in ("overlay", "reference"):

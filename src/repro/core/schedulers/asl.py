@@ -10,6 +10,8 @@ of isolated points, which is why it performs worst on hot sets
 
 from __future__ import annotations
 
+from typing import Tuple
+
 from repro.core.locks import LockTable
 from repro.core.schedulers.base import (AdmissionResponse, Decision,
                                         LockResponse, Scheduler)
@@ -50,6 +52,13 @@ class AtomicStaticLock(Scheduler):
                 f"ASL invariant broken: T{txn.tid} does not hold "
                 f"P{step.partition} at step {txn.current_step}")
         return LockResponse(Decision.GRANT, reason="preclaimed")
+
+    def abort_transaction(self, txn: TransactionRuntime,
+                          now: float = 0.0) -> Tuple[int, ...]:
+        """Drop every preclaimed lock; ASL induces no precedence edges."""
+        if self.table.is_registered(txn.tid):
+            self.table.unregister(txn.tid)
+        return ()
 
     def _commit(self, txn: TransactionRuntime, now: float) -> None:
         self.table.unregister(txn.tid)

@@ -116,14 +116,21 @@ class Scheduler:
         return response
 
     def abort_transaction(self, txn: TransactionRuntime,
-                          now: float = 0.0) -> None:
-        """Release a deadlock victim's state (schedulers that restart).
+                          now: float = 0.0) -> Tuple[int, ...]:
+        """Release an aborted transaction's scheduler state.
 
-        The no-abort schedulers of the paper never issue
-        :attr:`Decision.ABORT`, so reaching this default is a bug.
+        Called for deadlock victims (2PL, WAIT-DIE) and for externally
+        injected aborts (:mod:`repro.faults`) — the paper's schedulers
+        never *choose* to abort a BAT, but they must survive one being
+        aborted under them.  Returns the tids of the victim's direct
+        precedence successors (transactions already ordered *after* it),
+        which the machine uses for cascade-abort accounting; schedulers
+        without a precedence graph return ``()``.
+
+        Does not touch :attr:`stats` — abort accounting lives in the
+        metrics layer, keyed by cause.
         """
-        raise SchedulerError(
-            f"{self.name} never aborts mid-flight transactions")
+        return ()
 
     def object_processed(self, txn: TransactionRuntime,
                          objects: float = 1.0) -> None:
@@ -263,6 +270,35 @@ class WTPGScheduler(Scheduler):
 
     def _after_commit(self, txn: TransactionRuntime, now: float) -> None:
         """Hook: e.g. invalidate cached optimisation state."""
+
+    # -- abort ------------------------------------------------------------------
+
+    def abort_transaction(self, txn: TransactionRuntime,
+                          now: float = 0.0) -> Tuple[int, ...]:
+        """Excise an aborted transaction from the lock table and WTPG.
+
+        Releases every lock declaration and removes the WTPG node with
+        its incident pair edges (generation counters bump inside
+        :meth:`WTPG.remove_transaction`, keeping invariant 7); implied
+        resolutions involving the victim die with its edges, and the
+        survivors' orders are recomputed lazily by the next lock
+        request.  The victim's direct precedence successors — captured
+        *before* excision — are returned for cascade accounting.
+        """
+        tid = txn.tid
+        if tid not in self.wtpg:
+            # Aborted between admission attempts (or doubly aborted):
+            # only a lock-table registration may remain.
+            if self.table.is_registered(tid):
+                self.table.unregister(tid)
+            return ()
+        successors = tuple(sorted(self.wtpg.successors(tid)))
+        builder.remove_transaction(self.wtpg, self.table, tid)
+        self._after_abort(txn, now)
+        return successors
+
+    def _after_abort(self, txn: TransactionRuntime, now: float) -> None:
+        """Hook: drop cached control state that may reference the victim."""
 
 
 class ControlSaver:

@@ -55,6 +55,11 @@ class ChainScheduler(WTPGScheduler):
     def _after_commit(self, txn: TransactionRuntime, now: float) -> None:
         self._saver.invalidate()
 
+    def _after_abort(self, txn: TransactionRuntime, now: float) -> None:
+        # The cached W may order pairs involving the dead transaction;
+        # force a recomputation before the next grant decision.
+        self._saver.invalidate()
+
     # -- the optimised order W ------------------------------------------------
 
     def _refresh_w(self, now: float) -> float:

@@ -98,6 +98,11 @@ class KWTPGScheduler(WTPGScheduler):
     def _on_new_precedence_edge(self, now: float) -> None:
         self._invalidate()  # condition 3) of the control-saving rule
 
+    def _after_abort(self, txn: TransactionRuntime, now: float) -> None:
+        # The E-cache and the deferral graph may both reference the
+        # victim; stale entries would key decisions on a dead node.
+        self._invalidate()
+
     def _invalidate(self) -> None:
         self._saver.invalidate()
         self._e_cache.clear()

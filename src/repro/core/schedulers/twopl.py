@@ -17,7 +17,7 @@ scratch after the retry delay.
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, Set, Tuple
 
 from repro.core.locks import LockTable
 from repro.core.schedulers.base import (AdmissionResponse, Decision,
@@ -92,11 +92,12 @@ class BlockingTwoPhaseLock(Scheduler):
         return False
 
     def abort_transaction(self, txn: TransactionRuntime,
-                          now: float = 0.0) -> None:
+                          now: float = 0.0) -> Tuple[int, ...]:
         """Release everything; the machine re-submits the transaction."""
         self._waiting_for.pop(txn.tid, None)
         if self.table.is_registered(txn.tid):
             self.table.unregister(txn.tid)
+        return ()  # no precedence graph: nothing to cascade over
 
     def _commit(self, txn: TransactionRuntime, now: float) -> None:
         self._waiting_for.pop(txn.tid, None)

@@ -18,7 +18,7 @@ work, and young BATs may die many times.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.core.locks import LockTable
 from repro.core.schedulers.base import (AdmissionResponse, Decision,
@@ -75,10 +75,11 @@ class WaitDie(Scheduler):
             pass
 
     def abort_transaction(self, txn: TransactionRuntime,
-                          now: float = 0.0) -> None:
+                          now: float = 0.0) -> Tuple[int, ...]:
         """Release locks; the timestamp is kept (anti-starvation)."""
         if self.table.is_registered(txn.tid):
             self.table.unregister(txn.tid)
+        return ()
 
     def _commit(self, txn: TransactionRuntime, now: float) -> None:
         self.table.unregister(txn.tid)

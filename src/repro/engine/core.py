@@ -251,6 +251,11 @@ class Condition(Event):
 
     def _check(self, event: Event) -> None:
         if self.triggered:
+            # The condition already resolved; a sub-event failing now
+            # (e.g. a fault cancelling the remaining shares of a
+            # declustered step) has no waiter left, so defuse it.
+            if not event._ok:
+                event._defused = True
             return
         if not event._ok:
             event._defused = True

@@ -52,8 +52,27 @@ class SerializationViolationError(SchedulerError):
     """
 
 
+class FaultError(SimulationError):
+    """An injected fault hit a transaction's in-flight work.
+
+    Raised through the engine when a data node crashes under a dispatched
+    step, or when a transaction is cancelled (cascade abort, explicit
+    injection).  ``kind`` names the fault class — ``"crash"``,
+    ``"cascade"`` or ``"injected"`` — and becomes the abort cause in the
+    metrics and trace.
+    """
+
+    def __init__(self, message: str, kind: str = "injected") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
 class ConfigurationError(ReproError):
     """Simulation or experiment parameters are invalid or inconsistent."""
+
+
+class FaultPlanError(ConfigurationError):
+    """A fault-injection plan is malformed or inconsistent."""
 
 
 class WorkloadError(ReproError):

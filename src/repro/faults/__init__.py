@@ -1,0 +1,34 @@
+"""Deterministic fault injection for the simulated machine.
+
+The subsystem has two halves:
+
+* :mod:`repro.faults.plan` — the declarative injection-plan DSL
+  (:class:`FaultPlan`): node crashes/recoveries at fixed times, forced
+  BAT aborts at a given step, a stochastic abort rate, declared-cost
+  distortion (the Experiment 4 error model plus a systematic factor),
+  partition I/O slowdown windows, cascade-abort semantics and the
+  retry/backoff policy used for restarts.  Plans round-trip through JSON
+  (``repro-bat run --faults plan.json``).
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, which executes
+  a plan inside one simulation: it draws every stochastic decision from
+  named :class:`~repro.engine.rng.RandomStreams` substreams, so a fault
+  schedule replays bit-identically for a given master seed, and it
+  schedules the timed faults as ordinary engine processes.
+
+With no plan (or an empty plan) the machine consumes no extra
+randomness and schedules no extra events, so fault-free runs remain
+bit-identical to runs of the code before this subsystem existed.
+"""
+
+from repro.faults.plan import (FaultPlan, NodeCrash, PartitionSlowdown,
+                               RetryPolicy, StepAbort)
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "NodeCrash",
+    "PartitionSlowdown",
+    "RetryPolicy",
+    "StepAbort",
+]

@@ -16,6 +16,7 @@ from repro.core.schedulers import make_scheduler
 from repro.core.schedulers.base import Scheduler
 from repro.core.transaction import TransactionRuntime, TransactionSpec
 from repro.engine import Environment, RandomStreams
+from repro.faults import FaultInjector, FaultPlan
 from repro.machine.control_node import ControlNode
 from repro.machine.data_node import DataNode
 from repro.machine.partition import Catalog
@@ -72,7 +73,8 @@ class Cluster:
                  catalog: Optional[Catalog] = None,
                  scheduler: Optional[Scheduler] = None,
                  record_history: bool = False,
-                 tracer: Optional["Tracer"] = None) -> None:
+                 tracer: Optional["Tracer"] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         self.params = params
         self.workload = workload
         self.env = Environment()
@@ -89,9 +91,17 @@ class Cluster:
                      on_objects=self._on_objects)
             for node_id in range(params.num_nodes)]
         self.tracer = tracer
+        # An absent or empty plan builds no injector at all: no extra
+        # random draws, no extra engine processes — the run is
+        # bit-identical to a machine without the fault subsystem.
+        self.fault_plan = fault_plan
+        self.injector = (FaultInjector(fault_plan, self.streams)
+                         if fault_plan is not None and not fault_plan.empty()
+                         else None)
         self.control_node = ControlNode(
             self.env, params, self.scheduler, self.catalog, self.data_nodes,
-            self.metrics, history=self.history, tracer=tracer)
+            self.metrics, history=self.history, tracer=tracer,
+            injector=self.injector)
         self._spawned = 0
 
     def _on_objects(self, txn: TransactionRuntime, objects: float) -> None:
@@ -106,12 +116,17 @@ class Cluster:
             yield env.timeout(self.streams.exponential("arrivals", mean))
             self._spawned += 1
             spec = self.workload(self._spawned, self.streams)
+            if self.injector is not None:
+                spec = self.injector.distort(spec)
             txn = TransactionRuntime(spec, arrival_time=env.now)
             self.metrics.record_arrival(env.now)
             env.process(self.control_node.transaction_process(txn))
 
     def run(self) -> SimulationResult:
         """Run for ``sim_clocks`` and summarise."""
+        if self.injector is not None:
+            self.injector.install(self.env, self.data_nodes, self.catalog,
+                                  metrics=self.metrics, tracer=self.tracer)
         self.env.process(self._arrival_process())
         self.env.run(until=self.params.sim_clocks)
         elapsed = self.params.sim_clocks
@@ -135,8 +150,9 @@ class Cluster:
 def run_simulation(params: SimulationParameters, workload: WorkloadFn,
                    catalog: Optional[Catalog] = None,
                    scheduler: Optional[Scheduler] = None,
-                   record_history: bool = False) -> SimulationResult:
+                   record_history: bool = False,
+                   fault_plan: Optional[FaultPlan] = None) -> SimulationResult:
     """Build a cluster and run one simulation — the one-call entry point."""
     cluster = Cluster(params, workload, catalog=catalog, scheduler=scheduler,
-                      record_history=record_history)
+                      record_history=record_history, fault_plan=fault_plan)
     return cluster.run()

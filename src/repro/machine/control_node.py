@@ -15,21 +15,38 @@ transaction's lifecycle as the two-phase-commit coordinator:
 The CN's CPU is a single FIFO server, so heavy control traffic queues —
 the paper deliberately overstates control cost relative to ``ObjTime`` to
 show the schedulers survive it.
+
+Aborts — deadlock victims (2PL/WAIT-DIE) and injected faults
+(:mod:`repro.faults`) — funnel into one restart path: the scheduler
+releases the victim's locks and WTPG node, the metrics record the abort
+by cause, and the transaction is re-submitted from admission under the
+configured retry policy.  When the fault plan enables cascades, the
+victim's direct precedence successors are doomed too
+(:meth:`ControlNode.request_abort`), each of which repeats the same
+path when its process next runs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.config import SimulationParameters
 from repro.core.history import History
 from repro.core.schedulers.base import Decision, Scheduler
 from repro.core.transaction import LockMode, TransactionRuntime
 from repro.engine import Environment, Resource
+from repro.errors import FaultError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import RetryPolicy
 from repro.machine.data_node import DataNode
 from repro.machine.partition import Catalog
 from repro.machine.trace import EventType, Tracer
 from repro.metrics.collector import MetricsCollector
+
+# The abort cause of the pre-fault machine; traces keep their legacy
+# shape for it (no explicit cause key) so fault-free runs stay
+# bit-identical with historical traces.
+_LEGACY_CAUSE = "deadlock"
 
 
 class ControlNode:
@@ -39,7 +56,8 @@ class ControlNode:
                  scheduler: Scheduler, catalog: Catalog,
                  data_nodes: List[DataNode], metrics: MetricsCollector,
                  history: Optional[History] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 injector: Optional[FaultInjector] = None) -> None:
         self.env = env
         self.params = params
         self.scheduler = scheduler
@@ -48,11 +66,24 @@ class ControlNode:
         self.metrics = metrics
         self.history = history
         self.tracer = tracer
+        self.injector = injector
         self.cpu = Resource(env, capacity=1)
         self.active_transactions = 0
         # Grant bookkeeping for history validation: tid -> list of
         # (partition, mode, grant time).
         self._grants: Dict[int, List[Tuple[int, LockMode, float]]] = {}
+        # Fault bookkeeping: admitted-but-uncommitted tids, and tids
+        # condemned by request_abort with the condemning cause.
+        self._running: Set[int] = set()
+        self._doomed: Dict[int, str] = {}
+        plan = injector.plan if injector is not None else None
+        self._cascade = plan.cascade if plan is not None else False
+        if plan is not None and plan.retry is not None:
+            self.retry_policy = plan.retry
+        else:
+            self.retry_policy = RetryPolicy(
+                kind=params.retry_policy,
+                cap=params.retry_backoff_cap or None)
 
     # -- CPU ------------------------------------------------------------------
 
@@ -67,19 +98,51 @@ class ControlNode:
         finally:
             self.cpu.release(request)
 
+    # -- fault plumbing --------------------------------------------------------
+
+    def request_abort(self, tid: int, cause: str) -> bool:
+        """Doom a running transaction (cascade abort).
+
+        The victim's resident bulk work is cancelled immediately; its
+        coordinator process observes the doom at its next decision point
+        and runs the shared abort/restart path.  Returns False when the
+        transaction is not currently running (already committed, already
+        doomed, or between attempts) — such cascades are void.
+        """
+        if tid not in self._running or tid in self._doomed:
+            return False
+        self._doomed[tid] = cause
+        for node in self.data_nodes:
+            node.cancel(tid, kind=cause)
+        return True
+
+    def _doom_cause(self, txn: TransactionRuntime,
+                    planned_abort: Optional[int]) -> Optional[str]:
+        cause = self._doomed.get(txn.tid)
+        if cause is not None:
+            return cause
+        if planned_abort is not None and txn.current_step == planned_abort:
+            return "injected"
+        return None
+
+    def _retry_delay(self, txn: TransactionRuntime) -> float:
+        return self.retry_policy.delay_for(txn.attempts,
+                                           self.params.retry_delay)
+
     # -- transaction lifecycle ----------------------------------------------------
 
     def transaction_process(self, txn: TransactionRuntime):
         """The full life of one BAT; run as an engine process.
 
-        The outer loop exists for schedulers that abort deadlock victims
-        (2PL): an aborted transaction restarts from admission with all
-        its previous work wasted.  The paper's own schedulers never take
-        that branch.
+        The outer loop exists for restarts: 2PL deadlock victims and
+        fault-aborted transactions re-enter from admission with all
+        their previous work wasted.  The paper's own schedulers never
+        abort by choice, but injected faults can abort any of them.
         """
         env = self.env
         params = self.params
         self._trace(EventType.ARRIVAL, txn)
+        restarting = False
 
         while True:  # one iteration per execution attempt
             # Admission loop: Step 0 aborts are re-submitted after a fixed
@@ -98,17 +161,31 @@ class ControlNode:
             yield from self._cpu_work(params.startup_time)
             txn.start_time = env.now
             self.active_transactions += 1
+            self._running.add(txn.tid)
+            if restarting:
+                restarting = False
+                self.metrics.record_restart()
             self._trace(EventType.ADMITTED, txn, attempts=txn.attempts + 1)
             if self.history is not None:
                 self._grants[txn.tid] = []
+            planned_abort = (self.injector.plan_abort(txn)
+                             if self.injector is not None else None)
 
             aborted = False
+            abort_cause = _LEGACY_CAUSE
             while not txn.finished_all_steps:
+                cause = self._doom_cause(txn, planned_abort)
+                if cause is not None:
+                    aborted, abort_cause = True, cause
+                    break
+                granted = False
                 while True:
                     response = self.scheduler.request_lock(txn, env.now)
                     yield from self._cpu_work(response.cpu_cost)
-                    if (response.granted
-                            or response.decision is Decision.ABORT):
+                    if response.granted:
+                        granted = True
+                        break
+                    if response.decision is Decision.ABORT:
                         break
                     kind = (EventType.LOCK_BLOCKED
                             if response.decision is Decision.BLOCK
@@ -117,8 +194,13 @@ class ControlNode:
                                 reason=response.reason)
                     self.metrics.record_lock_retry()
                     yield env.timeout(params.retry_delay)
-                if response.decision is Decision.ABORT:
+                    cause = self._doom_cause(txn, planned_abort)
+                    if cause is not None:
+                        break
+                if not granted:
                     aborted = True
+                    if cause is not None:
+                        abort_cause = cause
                     break
                 step = txn.step()
                 self._trace(EventType.LOCK_GRANTED, txn,
@@ -128,39 +210,70 @@ class ControlNode:
                     self._grants[txn.tid].append(
                         (step.partition, step.mode, env.now))
                 partition = self.catalog.partition(step.partition)
-                if partition.declustered and len(self.data_nodes) > 1:
-                    # Intra-transaction parallelism: the bulk operation
-                    # runs on every node at once, in equal shares.
-                    share = step.cost / len(self.data_nodes)
-                    self._trace(EventType.STEP_DISPATCHED, txn,
-                                step=txn.current_step, node=-1,
-                                objects=step.cost)
-                    done = [node.submit(txn, share)
-                            for node in self.data_nodes]
-                    yield self.env.all_of(done)
-                else:
-                    node = self.data_nodes[partition.node]
-                    self._trace(EventType.STEP_DISPATCHED, txn,
-                                step=txn.current_step, node=node.node_id,
-                                objects=step.cost)
-                    yield node.submit(txn, step.cost)
+                try:
+                    if partition.declustered and len(self.data_nodes) > 1:
+                        # Intra-transaction parallelism: the bulk operation
+                        # runs on every node at once, in equal shares.
+                        share = step.cost / len(self.data_nodes)
+                        self._trace(EventType.STEP_DISPATCHED, txn,
+                                    step=txn.current_step, node=-1,
+                                    objects=step.cost)
+                        done = [node.submit(txn, share)
+                                for node in self.data_nodes]
+                        yield self.env.all_of(done)
+                    else:
+                        node = self.data_nodes[partition.node]
+                        self._trace(EventType.STEP_DISPATCHED, txn,
+                                    step=txn.current_step, node=node.node_id,
+                                    objects=step.cost)
+                        yield node.submit(txn, step.cost)
+                except FaultError as fault:
+                    aborted, abort_cause = True, fault.kind
+                    break
                 self._trace(EventType.STEP_COMPLETED, txn,
                             step=txn.current_step)
                 txn.advance_step()
 
+            if not aborted:
+                # An injection point equal to the step count means
+                # "between the last step and the commit"; a doom arriving
+                # during the final step lands here too.
+                if (planned_abort is not None
+                        and planned_abort >= len(txn.spec.steps)):
+                    aborted, abort_cause = True, "injected"
+                else:
+                    cause = self._doomed.get(txn.tid)
+                    if cause is not None:
+                        aborted, abort_cause = True, cause
+
             if aborted:
-                # Deadlock victim: every object processed so far is
-                # wasted — exactly why the paper's schedulers never abort
-                # a BAT.  Locks were released by the scheduler.
-                self.scheduler.abort_transaction(txn, env.now)
-                self.metrics.record_abort(txn)
-                self._trace(EventType.ABORTED, txn, step=txn.current_step,
-                            wasted_objects=txn.objects_done)
+                # Every object processed so far is wasted — exactly why
+                # the paper's schedulers never abort a BAT by choice.
+                successors = self.scheduler.abort_transaction(txn, env.now)
+                self._running.discard(txn.tid)
+                self._doomed.pop(txn.tid, None)
+                for node in self.data_nodes:
+                    node.cancel(txn.tid, kind=abort_cause)  # reap leftovers
+                self.metrics.record_abort(txn, cause=abort_cause,
+                                          now=env.now)
+                if abort_cause == _LEGACY_CAUSE:
+                    self._trace(EventType.ABORTED, txn,
+                                step=txn.current_step,
+                                wasted_objects=txn.objects_done)
+                else:
+                    self._trace(EventType.ABORTED, txn,
+                                step=txn.current_step,
+                                wasted_objects=txn.objects_done,
+                                cause=abort_cause)
                 self.active_transactions -= 1
                 if self.history is not None:
                     self._grants.pop(txn.tid, None)
                 txn.reset_for_retry()
-                yield env.timeout(params.retry_delay)
+                if self._cascade and successors:
+                    for successor in successors:
+                        self.request_abort(successor, "cascade")
+                restarting = True
+                yield env.timeout(self._retry_delay(txn))
                 continue
 
             # Commitment (two-phase commit coordination on the CN).
@@ -168,6 +281,7 @@ class ControlNode:
             self.scheduler.commit(txn, env.now)
             txn.commit_time = env.now
             self.active_transactions -= 1
+            self._running.discard(txn.tid)
             if self.history is not None:
                 for partition, mode, granted_at in self._grants.pop(txn.tid):
                     self.history.record(txn.tid, partition, mode,

@@ -11,15 +11,26 @@ less.
 The simple single-server model is the paper's own justification: a bulk
 operation runs as a processor-disk pipeline and is I/O-bound, so one
 object at a time per node captures the resource contention that matters.
+
+Fault support (:mod:`repro.faults`): a node can :meth:`crash` — every
+resident step fails with :class:`~repro.errors.FaultError` and new
+submissions are refused until :meth:`recover` — and individual
+transactions can be :meth:`cancel`-led (cascade aborts).  A crash or
+cancellation takes effect at the current quantum boundary: the in-flight
+object's I/O still occupies the device, but its result is discarded (no
+weight-adjustment message, no progress).  I/O slowdown windows stack
+multiplicatively via :meth:`apply_slowdown`; with no active factors the
+service-time arithmetic is bit-identical to the fault-free model.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional
+from typing import Callable, Deque, List, Optional
 
 from repro.core.transaction import TransactionRuntime
 from repro.engine import Environment, Event
+from repro.errors import FaultError
 
 # Tolerance when deciding a step's remaining object count is exhausted.
 _EPSILON = 1e-9
@@ -30,13 +41,14 @@ ObjectCallback = Callable[[TransactionRuntime, float], None]
 class _WorkItem:
     """One step of one transaction being bulk-processed at this node."""
 
-    __slots__ = ("txn", "remaining", "done")
+    __slots__ = ("txn", "remaining", "done", "cancelled")
 
     def __init__(self, txn: TransactionRuntime, objects: float,
                  done: Event) -> None:
         self.txn = txn
         self.remaining = objects
         self.done = done
+        self.cancelled = False
 
 
 class DataNode:
@@ -53,18 +65,26 @@ class DataNode:
         self.busy_time = 0.0
         self.objects_processed = 0.0
         self.messages_sent = 0
+        self.crashed = False
         self._queue: Deque[_WorkItem] = deque()
+        self._current: Optional[_WorkItem] = None
         self._wakeup: Optional[Event] = None
+        self._recovered: Optional[Event] = None
+        self._slow_factors: List[float] = []
         self._process = env.process(self._run())
 
     @property
     def resident_transactions(self) -> int:
         """Transactions currently multiplexed on this node."""
-        return len(self._queue)
+        return len(self._queue) + (1 if self._current is not None else 0)
 
     def submit(self, txn: TransactionRuntime, objects: float) -> Event:
         """Enqueue a step of ``objects`` bulk work; event fires when done."""
         done = self.env.event()
+        if self.crashed:
+            done.fail(FaultError(
+                f"node {self.node_id} is down", kind="crash"))
+            return done
         if objects <= _EPSILON:
             # Degenerate step (e.g. an erroneous declaration clipped to 0
             # actual work): complete immediately.
@@ -81,18 +101,99 @@ class DataNode:
             return 0.0
         return self.busy_time / elapsed
 
+    # -- faults ----------------------------------------------------------------
+
+    def crash(self) -> int:
+        """Fail every resident step; refuse work until :meth:`recover`.
+
+        Returns the number of steps killed.  The in-flight quantum (if
+        any) still finishes occupying the device, but its result is
+        discarded.
+        """
+        self.crashed = True
+        victims = list(self._queue)
+        self._queue.clear()
+        if self._current is not None and not self._current.cancelled:
+            self._current.cancelled = True
+            victims.append(self._current)
+        for item in victims:
+            if not item.done.triggered:
+                item.done.fail(FaultError(
+                    f"node {self.node_id} crashed under "
+                    f"T{item.txn.tid}", kind="crash"))
+        # Wake the server loop so it parks in the crashed state.
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+        return len(victims)
+
+    def recover(self) -> None:
+        """Bring a crashed node back into service (empty queue)."""
+        self.crashed = False
+        if self._recovered is not None and not self._recovered.triggered:
+            self._recovered.succeed()
+
+    def cancel(self, tid: int, kind: str = "injected") -> int:
+        """Fail transaction ``tid``'s resident steps (cascade abort).
+
+        Returns the number of steps killed; 0 when the transaction has
+        nothing resident here.
+        """
+        victims = [item for item in self._queue if item.txn.tid == tid]
+        if victims:
+            self._queue = deque(item for item in self._queue
+                                if item.txn.tid != tid)
+        current = self._current
+        if (current is not None and current.txn.tid == tid
+                and not current.cancelled):
+            current.cancelled = True
+            victims.append(current)
+        for item in victims:
+            if not item.done.triggered:
+                item.done.fail(FaultError(
+                    f"T{tid} cancelled at node {self.node_id}", kind=kind))
+        return len(victims)
+
+    def apply_slowdown(self, factor: float) -> None:
+        """Stack an I/O slowdown factor (composes multiplicatively)."""
+        if factor <= 0:
+            raise ValueError(f"slowdown factor must be positive: {factor}")
+        self._slow_factors.append(factor)
+
+    def clear_slowdown(self, factor: float) -> None:
+        """Remove one previously applied slowdown factor."""
+        self._slow_factors.remove(factor)
+
+    def _service_time(self, quantum: float) -> float:
+        service = quantum * self.obj_time
+        for factor in self._slow_factors:
+            service *= factor
+        return service
+
+    # -- the server loop --------------------------------------------------------
+
     def _run(self):
         while True:
+            if self.crashed:
+                self._recovered = self.env.event()
+                yield self._recovered
+                self._recovered = None
+                continue
             if not self._queue:
                 self._wakeup = self.env.event()
                 yield self._wakeup
                 self._wakeup = None
                 continue
             item = self._queue.popleft()
+            self._current = item
             quantum = min(1.0, item.remaining)
-            service = quantum * self.obj_time
+            service = self._service_time(quantum)
             yield self.env.timeout(service)
+            self._current = None
             self.busy_time += service
+            if item.cancelled:
+                # Killed mid-quantum: the device time is spent, the
+                # result is discarded (no message, no progress).
+                continue
             self.objects_processed += quantum
             self.messages_sent += 1  # weight-adjustment message to the CN
             self.on_objects(item.txn, quantum)

@@ -35,8 +35,10 @@ class EventType(enum.Enum):
     LOCK_DELAYED = "lock_delayed"
     STEP_DISPATCHED = "step_dispatched"
     STEP_COMPLETED = "step_completed"
-    ABORTED = "aborted"            # deadlock victim restart (2PL only)
+    ABORTED = "aborted"            # restart: deadlock victim or fault
     COMMITTED = "committed"
+    NODE_CRASHED = "node_crashed"      # machine fault; tid is -1
+    NODE_RECOVERED = "node_recovered"  # machine fault; tid is -1
 
 
 @dataclass(frozen=True)
@@ -117,8 +119,17 @@ def validate_trace(tracer: Tracer) -> None:
     Raises :class:`SimulationError` on: time going backwards, events
     before arrival or after commit, commit without admission, or a
     granted step count that does not match dispatch/completion counts.
+
+    Counts are per execution *attempt*: an ABORTED event (deadlock or
+    injected fault) may legitimately leave a dispatch without its
+    completion — the step died mid-flight — so the counters reset at
+    each abort and the commit-time checks cover only the final,
+    successful attempt.  Machine-level events (node crashes; ``tid``
+    < 0) have no transaction lifecycle and are skipped.
     """
     for tid in tracer.transactions():
+        if tid < 0:
+            continue  # machine-level fault events, not a transaction
         events = tracer.timeline(tid)
         last_time = float("-inf")
         seen_arrival = seen_admit = seen_commit = False
@@ -145,8 +156,12 @@ def validate_trace(tracer: Tracer) -> None:
                 if not seen_admit:
                     raise SimulationError(
                         f"T{tid}: abort before admission")
-                # A restart begins: the next attempt must re-admit.
+                # A restart begins: the next attempt must re-admit, and
+                # this attempt's grant/dispatch counts die with it (a
+                # fault may have killed a step between dispatch and
+                # completion).
                 seen_admit = False
+                grants = dispatches = completions = 0
             elif event.kind is EventType.COMMITTED:
                 if not seen_admit:
                     raise SimulationError(f"T{tid}: commit without admission")

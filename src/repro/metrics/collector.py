@@ -26,8 +26,14 @@ class RunMetrics:
     cn_utilization: float
     weight_messages: int
     lock_retries: int              # blocked/delayed request re-submissions
-    aborts: int = 0                # mid-flight deadlock restarts (2PL)
+    aborts: int = 0                # all mid-flight aborts (any cause)
     wasted_objects: float = 0.0    # bulk work discarded by those aborts
+    fault_aborts: int = 0          # injected assassinations (repro.faults)
+    crash_aborts: int = 0          # victims of data-node crashes
+    cascade_aborts: int = 0        # precedence-successor cascade victims
+    restarts: int = 0              # aborted transactions re-admitted
+    node_crashes: int = 0          # injected node crash events
+    fault_timeline: List[Dict[str, object]] = field(default_factory=list)
     scheduler_stats: Dict[str, float] = field(default_factory=dict)
     response_time_by_label: Dict[str, float] = field(default_factory=dict)
 
@@ -48,6 +54,12 @@ class MetricsCollector:
         self.lock_retries = 0
         self.aborts = 0
         self.wasted_objects = 0.0
+        self.fault_aborts = 0
+        self.crash_aborts = 0
+        self.cascade_aborts = 0
+        self.restarts = 0
+        self.node_crashes = 0
+        self.fault_timeline: List[Dict[str, object]] = []
         self._response_times: List[float] = []
         self._attempts: List[int] = []
         self._commits = 0
@@ -60,10 +72,40 @@ class MetricsCollector:
     def record_lock_retry(self) -> None:
         self.lock_retries += 1
 
-    def record_abort(self, txn: TransactionRuntime) -> None:
-        """A mid-flight deadlock restart: its work so far is wasted."""
+    def record_abort(self, txn: TransactionRuntime,
+                     cause: str = "deadlock", now: float = 0.0) -> None:
+        """A mid-flight abort: its work so far is wasted.
+
+        ``cause`` is ``"deadlock"`` (the legacy 2PL/WAIT-DIE restart),
+        ``"injected"``, ``"crash"`` or ``"cascade"``; fault-induced
+        causes additionally land on the fault timeline.
+        """
         self.aborts += 1
         self.wasted_objects += txn.objects_done
+        if cause == "deadlock":
+            return
+        if cause == "injected":
+            self.fault_aborts += 1
+        elif cause == "crash":
+            self.crash_aborts += 1
+        elif cause == "cascade":
+            self.cascade_aborts += 1
+        self.fault_timeline.append({
+            "time": now, "kind": "abort", "tid": txn.tid, "cause": cause,
+            "step": txn.current_step,
+            "wasted_objects": txn.objects_done})
+
+    def record_restart(self) -> None:
+        """An aborted transaction made it back through admission."""
+        self.restarts += 1
+
+    def record_fault(self, kind: str, now: float, **detail: object) -> None:
+        """A machine-level fault event (crash/recovery/slowdown window)."""
+        if kind == "node_crash":
+            self.node_crashes += 1
+        entry: Dict[str, object] = {"time": now, "kind": kind}
+        entry.update(detail)
+        self.fault_timeline.append(entry)
 
     def record_commit(self, txn: TransactionRuntime, now: float) -> None:
         if txn.arrival_time < self.warmup_clocks:
@@ -123,6 +165,12 @@ class MetricsCollector:
             lock_retries=self.lock_retries,
             aborts=self.aborts,
             wasted_objects=self.wasted_objects,
+            fault_aborts=self.fault_aborts,
+            crash_aborts=self.crash_aborts,
+            cascade_aborts=self.cascade_aborts,
+            restarts=self.restarts,
+            node_crashes=self.node_crashes,
+            fault_timeline=list(self.fault_timeline),
             scheduler_stats=dict(scheduler_stats or {}),
             response_time_by_label=self.mean_response_time_by_label(),
         )

@@ -1,12 +1,9 @@
 """Tests for the classic blocking-2PL-with-restarts baseline."""
 
-import pytest
-
 from repro.core import Step, TransactionRuntime, TransactionSpec
 from repro.core.schedulers import (BlockingTwoPhaseLock,
                                    CautiousTwoPhaseLock, Decision,
                                    make_scheduler)
-from repro.errors import SchedulerError
 
 
 def rt(tid, steps):
@@ -113,13 +110,36 @@ class TestDeadlockHandling:
         assert sched.request_lock(t2).decision is Decision.ABORT
 
 
-class TestNoAbortSchedulersRefuse:
-    def test_paper_schedulers_raise_on_abort(self):
+class TestWtpgSchedulerAbort:
+    def test_abort_releases_declarations_and_excises_wtpg_node(self):
         sched = CautiousTwoPhaseLock()
         t1 = rt(1, [Step.write(0, 1)])
         sched.admit(t1)
-        with pytest.raises(SchedulerError, match="never aborts"):
-            sched.abort_transaction(t1)
+        assert 1 in sched.wtpg
+        assert sched.abort_transaction(t1) == ()
+        assert 1 not in sched.wtpg
+        assert not sched.table.is_registered(1)
+        assert sched.wtpg.cache_violations() == []
+
+    def test_abort_returns_precedence_successors(self):
+        sched = CautiousTwoPhaseLock()
+        t1 = rt(1, [Step.write(0, 2)])
+        t2 = rt(2, [Step.write(0, 1)])
+        sched.admit(t1)
+        sched.admit(t2)
+        assert sched.request_lock(t1).granted
+        # t2's declaration on partition 0 resolves the pair edge t1 -> t2.
+        assert sched.abort_transaction(t1) == (2,)
+        assert 1 not in sched.wtpg
+        # The survivor can now run and commit on its own.
+        assert sched.request_lock(t2).granted
+        t2.advance_step()
+        sched.commit(t2)
+
+    def test_abort_of_unknown_transaction_is_a_no_op(self):
+        sched = CautiousTwoPhaseLock()
+        t1 = rt(1, [Step.write(0, 1)])
+        assert sched.abort_transaction(t1) == ()
 
 
 class TestFullSimulation:

@@ -1,0 +1,102 @@
+"""The invariant-checking wrapper and the single-case driver."""
+
+from typing import List, Optional, Tuple
+
+from repro.core.invariants import check_consistency
+from repro.core.schedulers import make_scheduler
+from repro.faults import FaultPlan
+from repro.machine.cluster import Cluster, SimulationResult
+from repro.machine.trace import EventType, Tracer, validate_trace
+
+
+class InvariantCheckingScheduler:
+    """Delegating proxy that re-checks invariant 7 after *every* call.
+
+    ``cache_violations()`` must be empty not just at the end of a run
+    but after each scheduler transition — a stale cached weight that a
+    later event happens to repair would otherwise go unnoticed.
+    """
+
+    CHECKED = ("admit", "request_lock", "commit", "object_processed",
+               "abort_transaction")
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+        self.checks = 0
+
+    def __getattr__(self, name):
+        value = getattr(self._inner, name)
+        if name in self.CHECKED and callable(value):
+            def checked(*args, **kwargs):
+                result = value(*args, **kwargs)
+                self._assert_clean(name)
+                return result
+            return checked
+        return value
+
+    def _assert_clean(self, after: str) -> None:
+        self.checks += 1
+        wtpg = getattr(self._inner, "wtpg", None)
+        if wtpg is None:
+            return
+        violations = wtpg.cache_violations()
+        assert violations == [], (
+            f"cache violations after {after}: {violations}")
+
+
+def run_case(params, workload, fault_plan: Optional[FaultPlan],
+             ) -> Tuple[SimulationResult, InvariantCheckingScheduler]:
+    inner = make_scheduler(params.scheduler, **params.scheduler_kwargs())
+    scheduler = InvariantCheckingScheduler(inner)
+    cluster = Cluster(params, workload, scheduler=scheduler,
+                      record_history=True, tracer=Tracer(),
+                      fault_plan=fault_plan)
+    return cluster.run(), scheduler
+
+
+def assert_invariants(result: SimulationResult, name: str) -> None:
+    """Every post-run property the harness demands of a run."""
+    # 1. Committed history is conflict-serializable, locks exclusive.
+    result.history.check_lock_exclusion()
+    result.history.check_serializable()
+    # 2. Trace lifecycle well-formedness (per execution attempt).
+    validate_trace(result.tracer)
+    # 3. Final WTPG is acyclic and consistent with the lock table.
+    inner = result.scheduler._inner
+    wtpg = getattr(inner, "wtpg", None)
+    if wtpg is not None:
+        assert not wtpg.has_precedence_cycle(), f"{name}: cyclic final WTPG"
+        assert wtpg.cache_violations() == []
+        check_consistency(inner.table, wtpg)
+    # 4. No transaction both committed and aborted: commits are final
+    #    and unique (an abort *before* a commit is a legal restart).
+    _assert_commit_finality(result.tracer, name)
+
+
+def _assert_commit_finality(tracer: Tracer, name: str) -> None:
+    committed_at: dict = {}
+    for index, event in enumerate(tracer.events):
+        if event.tid < 0:
+            continue
+        if event.kind is EventType.COMMITTED:
+            assert event.tid not in committed_at, (
+                f"{name}: T{event.tid} committed twice")
+            committed_at[event.tid] = index
+        elif event.tid in committed_at:
+            raise AssertionError(
+                f"{name}: T{event.tid} saw {event.kind.value} after commit")
+
+
+def lifecycle_counts(tracer: Tracer) -> List[Tuple[int, int, int]]:
+    """(tid, commits, aborts) per transaction — for meta-assertions."""
+    out = []
+    for tid in tracer.transactions():
+        if tid < 0:
+            continue
+        events = tracer.timeline(tid)
+        out.append((tid,
+                    sum(1 for e in events
+                        if e.kind is EventType.COMMITTED),
+                    sum(1 for e in events
+                        if e.kind is EventType.ABORTED)))
+    return out
