@@ -523,8 +523,11 @@ class WTPG:
         if not order:
             self._cp_dirty.clear()
             return 0.0
-        dist = self._cp_dist
-        if dist is not None and self._cp_gen == self._structure_gen:
+        # Generation guard first, memo read second: reading _cp_dist
+        # before comparing _cp_gen is exactly the stale-read shape
+        # invariant 7 (and RL007) exists to rule out.
+        if self._cp_gen == self._structure_gen and self._cp_dist is not None:
+            dist = self._cp_dist
             if not self._cp_dirty:
                 return self._cp_value
             affected: Set[int] = set()

@@ -21,11 +21,12 @@ replays bit-identically.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import (Any, Dict, Generator, List, Optional, Tuple,
+                    TYPE_CHECKING)
 
 from repro.core.transaction import (Step, TransactionRuntime,
                                     TransactionSpec)
-from repro.engine import Environment, RandomStreams
+from repro.engine import Environment, Event, RandomStreams
 from repro.faults.plan import FaultPlan, NodeCrash, PartitionSlowdown
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only, no runtime import
@@ -45,7 +46,7 @@ class FaultInjector:
         self.plan = plan
         self.streams = streams
         # (tid, attempt) -> step for the explicit one-shot aborts.
-        self._step_aborts: Dict[tuple, int] = {
+        self._step_aborts: Dict[Tuple[int, int], int] = {
             (abort.tid, abort.attempt): abort.step
             for abort in plan.step_aborts}
         self._metrics: Optional["MetricsCollector"] = None
@@ -138,7 +139,7 @@ class FaultInjector:
         return [data_nodes[partition.node]]
 
     def _crash_process(self, env: Environment, node: "DataNode",
-                       crash: NodeCrash):
+                       crash: NodeCrash) -> Generator[Event, Any, None]:
         if crash.at > env.now:
             yield env.timeout(crash.at - env.now)
         node.crash()
@@ -150,7 +151,8 @@ class FaultInjector:
         self._record("node_recovery", env.now, node=node.node_id)
 
     def _slowdown_process(self, env: Environment, nodes: List["DataNode"],
-                          slowdown: PartitionSlowdown):
+                          slowdown: PartitionSlowdown,
+                          ) -> Generator[Event, Any, None]:
         if slowdown.at > env.now:
             yield env.timeout(slowdown.at - env.now)
         for node in nodes:
@@ -164,7 +166,7 @@ class FaultInjector:
         self._record("slowdown_end", env.now, partition=slowdown.partition,
                      factor=slowdown.factor)
 
-    def _record(self, kind: str, now: float, **detail) -> None:
+    def _record(self, kind: str, now: float, **detail: object) -> None:
         if self._metrics is not None:
             self._metrics.record_fault(kind, now, **detail)
         if self._tracer is not None:

@@ -7,14 +7,20 @@ containers bumps a generation counter (runtime invariant 7 of
 :mod:`repro.core.invariants`), the estimator is the *only* friend module
 allowed inside :class:`~repro.core.wtpg.WTPG`'s private state, and
 critical-path floats are never compared with ``==`` in scheduler code.
-This package turns those conventions into machine-checked AST rules so a
+This package turns those conventions into machine-checked rules so a
 regression is caught at lint time instead of as a silently wrong
-schedule.
+schedule.  Single-pass AST matchers handle the per-node contracts; the
+*path* contracts (RL002, RL006–RL008) run on an intraprocedural CFG
+(:mod:`repro.lint.cfg`) with a worklist fixpoint solver
+(:mod:`repro.lint.dataflow`).
 
 Usage::
 
     PYTHONPATH=src python -m repro.lint src/          # or: repro-lint src/
     repro-lint --json src/                            # machine-readable
+    repro-lint --sarif report.sarif src/              # SARIF 2.1.0
+    repro-lint --write-baseline lint-baseline.json src/
+    repro-lint --check-baseline lint-baseline.json src/
     repro-lint --list-rules                           # rule catalogue
 
 Rules (see ``docs/lint.md`` for the full catalogue and rationale):
@@ -30,6 +36,12 @@ RL004     float equality: no ``==``/``!=`` on critical-path/weight floats
           in core/schedulers/ (the infinity sentinel is exempt)
 RL005     exception hygiene: no bare excepts; no blind ``except Exception:
           pass`` swallows
+RL006     lock lifecycle: a resource (register/request) released on some
+          paths must be released on every path to a function exit
+RL007     guarded caches: memoized fields are read only behind their
+          generation-guard check (the static face of invariant 7's reads)
+RL008     stream escape: RNG streams stay in named locals / stream-named
+          attributes outside engine/ and faults/
 RL000     lint hygiene: unparseable files and suppression comments
           without a justification
 ========  ==============================================================
@@ -37,6 +49,9 @@ RL000     lint hygiene: unparseable files and suppression comments
 Suppressions: append ``# repro-lint: disable=RL001 -- <justification>``
 to the offending line.  The justification text after ``--`` is
 mandatory; a suppression without one is itself an RL000 violation.
+Findings that predate a rule can be grandfathered in a committed
+baseline (``--write-baseline`` / ``--check-baseline``); this repo's
+baseline is empty by design.
 """
 
 from repro.lint.engine import LintRunner, lint_paths

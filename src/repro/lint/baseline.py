@@ -1,0 +1,107 @@
+"""Committed-baseline mechanism: grandfather old findings, fail on new.
+
+A baseline is a JSON file of content fingerprints.  Each violation
+hashes ``rule id + repo-relative path + stripped source line text +
+occurrence index`` — deliberately *not* the line number, so unrelated
+edits that shift a grandfathered finding up or down do not break the
+build, while any change to the offending line itself (or a genuinely
+new finding) surfaces as new.  The occurrence index disambiguates
+repeated identical lines in one file.
+
+The acceptance bar for this repo is an *empty* baseline — every
+violation the flow rules surfaced was actually fixed — but the
+mechanism is what lets future rules land before their fix sweep is
+complete.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.model import Violation
+
+BASELINE_VERSION = 1
+
+
+def _relative(file: str, root: Optional[Path] = None) -> str:
+    path = Path(file)
+    base = (root or Path.cwd()).resolve()
+    try:
+        return path.resolve().relative_to(base).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _line_text(violation: Violation,
+               sources: Dict[str, List[str]]) -> str:
+    """The stripped source line a violation points at ('' if unknown)."""
+    if violation.file not in sources:
+        try:
+            text = Path(violation.file).read_text(encoding="utf-8")
+            sources[violation.file] = text.splitlines()
+        except OSError:
+            sources[violation.file] = []
+    lines = sources[violation.file]
+    if 1 <= violation.line <= len(lines):
+        return lines[violation.line - 1].strip()
+    return ""
+
+
+def fingerprint(rule_id: str, rel_path: str, line_text: str,
+                occurrence: int) -> str:
+    payload = f"{rule_id}\x1f{rel_path}\x1f{line_text}\x1f{occurrence}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def fingerprints_for(violations: Sequence[Violation],
+                     root: Optional[Path] = None) -> List[str]:
+    """One fingerprint per violation, in input order."""
+    sources: Dict[str, List[str]] = {}
+    counts: Dict[Tuple[str, str, str], int] = {}
+    out: List[str] = []
+    for violation in violations:
+        rel = _relative(violation.file, root)
+        text = _line_text(violation, sources)
+        key = (violation.rule_id, rel, text)
+        occurrence = counts.get(key, 0)
+        counts[key] = occurrence + 1
+        out.append(fingerprint(violation.rule_id, rel, text, occurrence))
+    return out
+
+
+def write_baseline(path: Path, violations: Sequence[Violation],
+                   root: Optional[Path] = None) -> None:
+    payload = {
+        "tool": "repro-lint",
+        "version": BASELINE_VERSION,
+        "fingerprints": sorted(fingerprints_for(violations, root)),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: Path) -> Set[str]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("tool") != "repro-lint":
+        raise ValueError(f"{path} is not a repro-lint baseline")
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {payload.get('version')!r}")
+    return set(payload.get("fingerprints", []))
+
+
+def filter_new(violations: Sequence[Violation], baseline: Set[str],
+               root: Optional[Path] = None,
+               ) -> Tuple[List[Violation], int]:
+    """(violations not in the baseline, count of grandfathered ones)."""
+    fresh: List[Violation] = []
+    matched = 0
+    for violation, print_ in zip(violations,
+                                 fingerprints_for(violations, root)):
+        if print_ in baseline:
+            matched += 1
+        else:
+            fresh.append(violation)
+    return fresh, matched

@@ -1,7 +1,7 @@
 """Command-line entry point: ``repro-lint`` / ``python -m repro.lint``.
 
 Exit codes: 0 clean, 1 violations found, 2 usage error (e.g. a path that
-does not exist).
+does not exist, or an unreadable baseline).
 """
 
 from __future__ import annotations
@@ -11,21 +11,34 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
-from repro.lint.engine import (LintRunner, render_json, render_text)
+from repro.lint.baseline import filter_new, load_baseline, write_baseline
+from repro.lint.engine import LintRunner, render_json, render_text
 from repro.lint.model import all_rules
+from repro.lint.sarif import render_sarif
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Project-specific static analysis for the WTPG core "
-                    "(rules RL001-RL005; see docs/lint.md).")
+                    "(rules RL001-RL008; see docs/lint.md).")
     parser.add_argument(
         "paths", nargs="*", default=["src"], metavar="PATH",
         help="files or directories to lint (default: src)")
     parser.add_argument(
         "--json", action="store_true", dest="as_json",
         help="emit a machine-readable JSON report instead of text")
+    parser.add_argument(
+        "--sarif", nargs="?", const="-", default=None, metavar="FILE",
+        help="emit a SARIF 2.1.0 report to FILE (or stdout when no "
+             "FILE is given) instead of text")
+    parser.add_argument(
+        "--write-baseline", metavar="FILE", default=None,
+        help="record the current violations as the committed baseline "
+             "and exit 0")
+    parser.add_argument(
+        "--check-baseline", metavar="FILE", default=None,
+        help="suppress violations recorded in FILE; only new ones fail")
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit")
@@ -41,6 +54,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{rule.rule_id}  {rule.summary}")
         return 0
 
+    if args.sarif not in (None, "-") and Path(args.sarif).suffix not in (
+            ".sarif", ".json"):
+        # Guards against `--sarif <path-to-lint>` eating a positional
+        # path and overwriting a source file with the report.
+        print(f"repro-lint: --sarif target must end .sarif or .json "
+              f"(got {args.sarif!r})", file=sys.stderr)
+        return 2
+
     paths: List[Path] = []
     for raw in args.paths:
         path = Path(raw)
@@ -51,10 +72,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     runner = LintRunner(rules)
     violations = runner.check_paths(paths)
-    if args.as_json:
+
+    if args.write_baseline is not None:
+        write_baseline(Path(args.write_baseline), violations)
+        print(f"repro-lint: wrote baseline with {len(violations)} "
+              f"fingerprint{'s' if len(violations) != 1 else ''} to "
+              f"{args.write_baseline}")
+        return 0
+
+    grandfathered = 0
+    if args.check_baseline is not None:
+        baseline_path = Path(args.check_baseline)
+        if not baseline_path.exists():
+            print(f"repro-lint: baseline does not exist: {baseline_path}",
+                  file=sys.stderr)
+            return 2
+        try:
+            baseline = load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+        violations, grandfathered = filter_new(violations, baseline)
+
+    if args.sarif is not None:
+        report = render_sarif(violations, rules)
+        if args.sarif == "-":
+            print(report)
+        else:
+            Path(args.sarif).write_text(report + "\n", encoding="utf-8")
+    elif args.as_json:
         print(render_json(violations, runner.files_checked, rules))
     else:
-        print(render_text(violations, runner.files_checked))
+        text = render_text(violations, runner.files_checked)
+        if grandfathered:
+            text += (f"\nrepro-lint: {grandfathered} baselined violation"
+                     f"{'s' if grandfathered != 1 else ''} suppressed")
+        print(text)
     return 1 if violations else 0
 
 

@@ -7,6 +7,7 @@ import json
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import repro.lint.flow_rules  # noqa: F401  (imported for rule registration)
 import repro.lint.rules  # noqa: F401  (imported for rule registration)
 from repro.lint.model import FileContext, Rule, Violation, all_rules
 from repro.lint.suppressions import apply_suppressions, parse_suppressions

@@ -1,0 +1,550 @@
+"""The flow-sensitive rules RL006–RL008, built on cfg + dataflow.
+
+Where RL001–RL005 are single-pass AST matchers, these rules state *path*
+properties: every rule builds the CFG of each function in scope
+(:func:`repro.lint.cfg.build_cfg`), runs a forward may-analysis to a
+fixpoint (:func:`repro.lint.dataflow.solve_forward`) and reports on what
+survives to an exit.  ``docs/lint.md`` has the full catalogue entry,
+threat model and known over/under-approximations of each rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import (Dict, FrozenSet, Iterator, List, Optional, Sequence,
+                    Set, Tuple)
+
+from repro.lint.cfg import CFGNode, FunctionNode, build_cfg, header_exprs
+from repro.lint.dataflow import (ResourceFact, ResourceSpec, UnionLattice,
+                                 method_name_of, resource_gen_kill,
+                                 resource_transfer, solve_forward)
+from repro.lint.model import FileContext, Rule, Violation, register_rule
+from repro.lint.rules import _is_bump, _statement_mutations
+
+_LATTICE = UnionLattice()
+
+#: Container methods that mutate their receiver in place — an attribute
+#: load that only *receives* one of these is cache maintenance, not a
+#: guarded read.
+_INPLACE_METHODS = frozenset({
+    "add", "append", "clear", "discard", "extend", "insert", "pop",
+    "popitem", "remove", "setdefault", "update",
+})
+
+
+def _functions_in_class(tree: ast.Module,
+                        class_name: Optional[str] = None,
+                        ) -> Iterator[FunctionNode]:
+    """Direct methods of one class, or every function in the module."""
+    if class_name is None:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+        return
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield item
+
+
+# ---------------------------------------------------------------------------
+# RL006 — lock-declaration / resource lifecycle leaks
+# ---------------------------------------------------------------------------
+
+#: The protocol resources of the scheduler/machine layer.  ``register``
+#: opens a lock-declaration registration in the LockTable; it is closed
+#: by ``unregister`` (reject/abort), by ``builder.add_transaction`` /
+#: ``builder.remove_transaction`` (ownership transfer into/out of the
+#: WTPG admission path).  ``request``/``release`` is the engine's
+#: SimPy-style Resource grant protocol (the control node's CPU token).
+RL006_SPECS: Tuple[ResourceSpec, ...] = (
+    ResourceSpec("lock-registration",
+                 acquire=frozenset({"register"}),
+                 release=frozenset({"unregister", "add_transaction",
+                                    "remove_transaction"})),
+    ResourceSpec("engine-resource",
+                 acquire=frozenset({"request"}),
+                 release=frozenset({"release"})),
+)
+
+
+@register_rule
+class LockLifecycleRule(Rule):
+    """RL006: a resource released on some paths must be released on all.
+
+    In ``core/schedulers/``, ``core/locks.py`` and ``machine/``, a
+    function that acquires a protocol resource (``register`` a
+    declaration, ``request`` a CPU token) and releases it on *some* exit
+    path must release it on *every* exit path — the abort/cascade/fault
+    machinery of PR 3 multiplied the exits, and a registration that
+    survives a reject path wedges the admission protocol.  Functions
+    that never release intraprocedurally are exempt (2PL-style
+    registrations intentionally persist until commit/abort elsewhere);
+    this inconsistency heuristic is what keeps the rule's false-positive
+    rate at zero on purpose-persistent protocols.  Exception edges are
+    modelled inside ``try`` blocks and at explicit ``raise`` statements,
+    so a ``finally`` release keeps a function clean.
+    """
+
+    rule_id = "RL006"
+    summary = ("resources (register/request) released on some paths must "
+               "be released on every path to a function exit")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return (ctx.in_dir("core/schedulers")
+                or ctx.is_module("repro/core/locks.py")
+                or ctx.in_dir("machine"))
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for fn in _functions_in_class(ctx.tree):
+            yield from self._check_function(ctx, fn)
+
+    def _check_function(self, ctx: FileContext,
+                        fn: FunctionNode) -> Iterator[Violation]:
+        # Inconsistency gate: only resource kinds this function releases
+        # somewhere can leak; acquire-only functions persist by design.
+        released: Set[str] = set()
+        acquired = False
+        for stmt in ast.walk(fn):
+            if not isinstance(stmt, ast.stmt):
+                continue
+            gens, kills = resource_gen_kill(stmt, RL006_SPECS)
+            released.update(kills)
+            acquired = acquired or bool(gens)
+        if not acquired or not released:
+            return
+        cfg = build_cfg(fn)
+        result = solve_forward(cfg, _LATTICE,
+                               resource_transfer(RL006_SPECS), frozenset())
+        leaked = (result.entering(cfg.exit)
+                  | result.entering(cfg.raise_exit))
+        seen: Set[Tuple[str, int, int]] = set()
+        for fact in sorted(leaked,
+                           key=lambda f: (f.line, f.col, f.spec)):  # type: ignore[union-attr]
+            assert isinstance(fact, ResourceFact)
+            if fact.spec not in released:
+                continue
+            key = (fact.spec, fact.line, fact.col)
+            if key in seen:
+                continue
+            seen.add(key)
+            spec = next(s for s in RL006_SPECS if s.name == fact.spec)
+            names = "/".join(sorted(spec.release))
+            yield Violation(
+                self.rule_id, ctx.display, fact.line, fact.col,
+                f"{fact.call}() in {fn.name} is released on some paths "
+                f"but can reach a function exit still held: call "
+                f"{names} on every path (including exception edges), "
+                "or keep ownership past the function on all paths")
+
+
+# ---------------------------------------------------------------------------
+# RL007 — unguarded reads of generation-guarded caches
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CacheFamily:
+    """One memo family: its cache fields and the guard that validates them.
+
+    A *guard event* — calling one of ``guard_calls`` or touching one of
+    ``guard_fields`` (comparing, testing or re-syncing the family's
+    generation/flag) — certifies the family's fields until the next
+    mutation.  Writing a cache field certifies that one field (a fresh
+    recomputation is by definition current).
+    """
+
+    name: str
+    fields: FrozenSet[str]
+    guard_fields: FrozenSet[str]
+    guard_calls: FrozenSet[str]
+
+
+#: Guarded-memo families per module.  Fixtures impersonate these logical
+#: paths to unit-test the rule.
+RL007_FAMILIES: Dict[str, Tuple[CacheFamily, ...]] = {
+    "repro/core/wtpg.py": (
+        CacheFamily("topo-order",
+                    fields=frozenset({"_topo_order", "_topo_pos"}),
+                    guard_fields=frozenset({"_known_cyclic"}),
+                    guard_calls=frozenset({"_ensure_topo"})),
+        CacheFamily("closure",
+                    fields=frozenset({"_anc_cache", "_desc_cache"}),
+                    guard_fields=frozenset({"_closure_gen"}),
+                    guard_calls=frozenset({"_closure_cache"})),
+        CacheFamily("critical-path",
+                    fields=frozenset({"_cp_dist", "_cp_value"}),
+                    guard_fields=frozenset({"_cp_gen"}),
+                    guard_calls=frozenset()),
+    ),
+    "repro/core/estimator.py": (
+        CacheFamily("batch-base",
+                    fields=frozenset({"_base_dist", "_base_cp",
+                                      "_base_cyclic"}),
+                    guard_fields=frozenset({"generation", "_generation"}),
+                    guard_calls=frozenset({"_prime", "critical_path_length",
+                                           "has_precedence_cycle"})),
+    ),
+    "repro/core/schedulers/kwtpg_scheduler.py": (
+        CacheFamily("e-cache",
+                    fields=frozenset({"_e_cache"}),
+                    guard_fields=frozenset(),
+                    guard_calls=frozenset({"stale", "_invalidate"})),
+    ),
+    "repro/core/schedulers/chain_scheduler.py": (
+        CacheFamily("w-order",
+                    fields=frozenset({"_w_order"}),
+                    guard_fields=frozenset(),
+                    guard_calls=frozenset({"_refresh_w", "_force_refresh_w",
+                                           "stale"})),
+    ),
+}
+
+#: Methods whose whole job is to *maintain* a cache under a documented
+#: precondition, so raw access is their contract, not a violation.
+RL007_EXEMPT_METHODS: Dict[str, FrozenSet[str]] = {
+    # _pk_insert's precondition is "_known_cyclic is False" at every call
+    # site; cache_violations is paranoia mode — it compares the raw
+    # caches against fresh recomputation by design.
+    "repro/core/wtpg.py": frozenset({"_pk_insert", "cache_violations"}),
+}
+
+
+def _exempt_attr_loads(stmt: ast.AST) -> Set[int]:
+    """ids of attribute nodes whose load is maintenance, not a read:
+    roots of assignment/delete targets and receivers of in-place
+    container-method calls."""
+    exempt: Set[int] = set()
+
+    def mark_chain(node: ast.AST) -> None:
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            if isinstance(node, ast.Attribute):
+                exempt.add(id(node))
+            node = node.value
+
+    for root in header_exprs(stmt):
+        for node in ast.walk(root):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if isinstance(target, ast.Tuple):
+                        for element in target.elts:
+                            mark_chain(element)
+                    else:
+                        mark_chain(target)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    mark_chain(target)
+            elif isinstance(node, ast.Call):
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _INPLACE_METHODS):
+                    mark_chain(node.func.value)
+    return exempt
+
+
+def _family_guards(stmt: ast.AST,
+                   families: Sequence[CacheFamily]) -> Set[str]:
+    """Names of the families a statement's guard events certify."""
+    guarded: Set[str] = set()
+    if isinstance(stmt, ast.stmt) and _is_bump(stmt):
+        return guarded  # a generation bump invalidates, never certifies
+    for root in header_exprs(stmt):
+        for node in ast.walk(root):
+            if isinstance(node, ast.Call):
+                name = method_name_of(node)
+                if name is None and isinstance(node.func, ast.Name):
+                    name = node.func.id
+                if name is not None:
+                    for family in families:
+                        if name in family.guard_calls:
+                            guarded.add(family.name)
+            elif isinstance(node, ast.Attribute):
+                for family in families:
+                    if node.attr in family.guard_fields:
+                        guarded.add(family.name)
+    return guarded
+
+
+def _stored_fields(stmt: ast.AST,
+                   families: Sequence[CacheFamily]) -> Set[str]:
+    """Cache fields a statement (re)writes wholesale — fresh by definition."""
+    stored: Set[str] = set()
+    all_fields = {f for family in families for f in family.fields}
+    if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                   else [stmt.target])
+        for target in targets:
+            if isinstance(target, ast.Attribute) and target.attr in all_fields:
+                stored.add(target.attr)
+    return stored
+
+
+def _dirties(stmt: ast.AST) -> bool:
+    """Does the statement invalidate derived state (mutation or bump)?"""
+    if not isinstance(stmt, ast.stmt):
+        return False
+    return bool(_statement_mutations(stmt)) or _is_bump(stmt)
+
+
+@register_rule
+class UnguardedCacheReadRule(Rule):
+    """RL007: memoized fields are read only behind their generation guard.
+
+    Invariant 7's runtime check (:meth:`WTPG.cache_violations`) can only
+    catch a stale cache *after* a bad read happened in a test run; this
+    rule proves the protocol shape statically: on every path from a
+    mutation (or from function entry — the graph may have changed in any
+    earlier call) to a load of a memoized field, a guard event must
+    intervene — calling the family's ensure/refresh helper, comparing or
+    re-syncing its generation counter, or freshly writing the field.
+    Stores and in-place maintenance calls on the cache containers are
+    exempt; guard processing happens before read checks within one
+    statement, so the idiomatic ``if self._gen == self._structure_gen
+    and self._memo is not None`` is clean while the reversed form —
+    reading the memo before comparing — is exactly what gets flagged.
+    """
+
+    rule_id = "RL007"
+    summary = ("memoized WTPG/estimator/scheduler cache fields must not "
+               "be read on a path without a generation-guard check")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.logical in RL007_FAMILIES
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        families = RL007_FAMILIES[ctx.logical]
+        exempt = RL007_EXEMPT_METHODS.get(ctx.logical, frozenset())
+        for fn in _functions_in_class(ctx.tree):
+            if fn.name in exempt:
+                continue
+            yield from self._check_function(ctx, fn, families)
+
+    def _check_function(self, ctx: FileContext, fn: FunctionNode,
+                        families: Sequence[CacheFamily],
+                        ) -> Iterator[Violation]:
+        by_name = {family.name: family for family in families}
+        all_fields = frozenset(f for family in families
+                               for f in family.fields)
+        field_family = {f: family for family in families
+                        for f in family.fields}
+
+        def transfer(node: CFGNode,
+                     dirty: FrozenSet[object]) -> FrozenSet[object]:
+            stmt = node.stmt
+            if stmt is None or not isinstance(stmt, ast.stmt):
+                return dirty
+            if _dirties(stmt):
+                return all_fields
+            for name in _family_guards(stmt, families):
+                dirty = dirty - by_name[name].fields
+            stored = _stored_fields(stmt, families)
+            if stored:
+                dirty = dirty - frozenset(stored)
+            return dirty
+
+        cfg = build_cfg(fn)
+        result = solve_forward(cfg, _LATTICE, transfer, all_fields)
+        reported: Set[Tuple[int, int, str]] = set()
+        for node in cfg.stmt_nodes():
+            stmt = node.stmt
+            if stmt is None or not isinstance(stmt, ast.stmt):
+                continue
+            dirty = result.entering(node)
+            for name in _family_guards(stmt, families):
+                dirty = dirty - by_name[name].fields
+            if not dirty:
+                continue
+            exempt_ids = _exempt_attr_loads(stmt)
+            for root in header_exprs(stmt):
+                for sub in ast.walk(root):
+                    if not isinstance(sub, ast.Attribute):
+                        continue
+                    if not isinstance(sub.ctx, ast.Load):
+                        continue
+                    if sub.attr not in all_fields or sub.attr not in dirty:
+                        continue
+                    if id(sub) in exempt_ids:
+                        continue
+                    key = (sub.lineno, sub.col_offset, sub.attr)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    family = field_family[sub.attr]
+                    yield Violation(
+                        self.rule_id, ctx.display, sub.lineno,
+                        sub.col_offset,
+                        f"read of {sub.attr} ({family.name} memo) in "
+                        f"{fn.name} on a path with no generation-guard "
+                        "check since the last mutation: check the guard "
+                        "(or refresh the memo) before reading — "
+                        "invariant 7")
+
+
+# ---------------------------------------------------------------------------
+# RL008 — RNG streams must not escape their named-local discipline
+# ---------------------------------------------------------------------------
+
+_STREAMY = "stream"
+
+
+def _is_stream_call(node: ast.AST) -> bool:
+    """Syntactically a stream-producing expression: ``*.stream(...)`` or
+    a ``RandomStreams(...)`` construction."""
+    if not isinstance(node, ast.Call):
+        return False
+    if isinstance(node.func, ast.Attribute) and node.func.attr == "stream":
+        return True
+    func_name = (node.func.id if isinstance(node.func, ast.Name)
+                 else node.func.attr if isinstance(node.func, ast.Attribute)
+                 else "")
+    return func_name == "RandomStreams"
+
+
+def _tainted_param_names(fn: FunctionNode) -> Set[str]:
+    names: Set[str] = set()
+    args = fn.args
+    for arg in (list(args.posonlyargs) + list(args.args)
+                + list(args.kwonlyargs)):
+        lowered = arg.arg.lower()
+        if lowered == _STREAMY or lowered.endswith("_" + _STREAMY):
+            names.add(arg.arg)
+    return names
+
+
+def _value_tainted(node: Optional[ast.AST],
+                   tainted: FrozenSet[object]) -> bool:
+    if node is None:
+        return False
+    if _is_stream_call(node):
+        return True
+    if isinstance(node, ast.Name) and node.id in tainted:
+        return True
+    return False
+
+
+@register_rule
+class StreamEscapeRule(Rule):
+    """RL008: RNG streams stay in named locals / stream-named attributes.
+
+    PR 3's bit-identical fault replay rests on the named-stream
+    determinism contract: every ``random.Random`` lives in
+    :class:`repro.engine.rng.RandomStreams` under a stable name, and
+    consumers hold it only transiently.  A stream smuggled into module
+    scope or an innocuously named attribute outside ``engine/`` +
+    ``faults/`` becomes ambient randomness the replay machinery cannot
+    see.  The rule tracks stream values through local assignments
+    (may-analysis over the CFG) and flags: binding one at module scope,
+    storing one in an attribute or attribute-rooted container whose name
+    does not contain "stream", binding one to a ``global``, and
+    returning one from a public function.
+    """
+
+    rule_id = "RL008"
+    summary = ("RandomStreams streams must not escape to module scope or "
+               "non-stream-named attributes outside engine/ and faults/")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.in_dir("engine") and not ctx.in_dir("faults")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        yield from self._check_module_scope(ctx)
+        for fn in _functions_in_class(ctx.tree):
+            yield from self._check_function(ctx, fn)
+
+    def _check_module_scope(self, ctx: FileContext) -> Iterator[Violation]:
+        stmts: List[ast.stmt] = list(ctx.tree.body)
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                stmts.extend(item for item in node.body
+                             if isinstance(item, (ast.Assign, ast.AnnAssign)))
+        for stmt in stmts:
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = stmt.value
+            if value is not None and _is_stream_call(value):
+                yield self.violation(
+                    ctx, stmt,
+                    "RNG stream bound at module/class scope: streams are "
+                    "per-run state owned by RandomStreams — create them "
+                    "inside the consuming function")
+
+    def _check_function(self, ctx: FileContext,
+                        fn: FunctionNode) -> Iterator[Violation]:
+        global_names: Set[str] = set()
+        for stmt in fn.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Global):
+                    global_names.update(node.names)
+
+        def transfer(node: CFGNode,
+                     tainted: FrozenSet[object]) -> FrozenSet[object]:
+            stmt = node.stmt
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                return tainted
+            targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                       else [stmt.target])
+            is_stream = _value_tainted(stmt.value, tainted)
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    if is_stream:
+                        tainted = tainted | {target.id}
+                    else:
+                        tainted = tainted - {target.id}
+            return tainted
+
+        entry = frozenset(_tainted_param_names(fn))
+        cfg = build_cfg(fn)
+        result = solve_forward(cfg, _LATTICE, transfer, entry)
+        public = not fn.name.startswith("_")
+        for node in cfg.stmt_nodes():
+            stmt = node.stmt
+            if stmt is None or not isinstance(stmt, ast.stmt):
+                continue
+            tainted = result.entering(node)
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                if not _value_tainted(stmt.value, tainted):
+                    continue
+                targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                           else [stmt.target])
+                for target in targets:
+                    yield from self._check_binding(ctx, fn, target,
+                                                   global_names)
+            elif isinstance(stmt, ast.Return) and public:
+                if _value_tainted(stmt.value, tainted):
+                    yield self.violation(
+                        ctx, stmt,
+                        f"public function {fn.name} returns an RNG stream: "
+                        "streams escape the named-stream discipline through "
+                        "public APIs — draw values here or make the helper "
+                        "private")
+
+    def _check_binding(self, ctx: FileContext, fn: FunctionNode,
+                       target: ast.AST,
+                       global_names: Set[str]) -> Iterator[Violation]:
+        if isinstance(target, ast.Name) and target.id in global_names:
+            yield self.violation(
+                ctx, target,
+                f"RNG stream assigned to global {target.id!r}: module-scope "
+                "streams are invisible to the replay machinery — keep them "
+                "local to the consuming function")
+        elif isinstance(target, ast.Attribute):
+            if _STREAMY not in target.attr.lower():
+                yield self.violation(
+                    ctx, target,
+                    f"RNG stream stored in attribute {target.attr!r}: use a "
+                    "name containing 'stream' so the determinism contract "
+                    "stays auditable, or draw values instead of caching "
+                    "the stream")
+        elif isinstance(target, ast.Subscript):
+            root = target.value
+            while isinstance(root, ast.Subscript):
+                root = root.value
+            if (isinstance(root, ast.Attribute)
+                    and _STREAMY not in root.attr.lower()):
+                yield self.violation(
+                    ctx, target,
+                    f"RNG stream stored in container {root.attr!r}: use a "
+                    "name containing 'stream' so the determinism contract "
+                    "stays auditable")

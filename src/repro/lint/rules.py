@@ -9,8 +9,11 @@ from __future__ import annotations
 
 import ast
 import re
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
+from repro.lint.cfg import CFGNode, build_cfg
+from repro.lint.dataflow import UnionLattice, solve_forward
 from repro.lint.model import (FileContext, Rule, Violation, dotted_name,
                               register_rule)
 
@@ -235,7 +238,13 @@ def _is_bump(stmt: ast.stmt) -> bool:
     return False
 
 
-_TERMINATED = "terminated"
+@dataclass(frozen=True)
+class _MutFact:
+    """One un-bumped mutation of a watched container, keyed by its site."""
+
+    line: int
+    col: int
+    attr: str
 
 
 @register_rule
@@ -248,10 +257,12 @@ class CacheCoherenceRule(Rule):
     only allowed to trust their generation guards because *every*
     mutation of the graph-defining containers bumps ``_generation`` /
     ``_structure_gen`` (directly or via an invalidation helper).  The
-    check walks each method's statement tree path-sensitively: an open
-    mutation reaching a ``return`` or the end of the method without an
-    intervening bump is a violation.  (``raise`` paths are exempt — an
-    exception mid-mutation is already a hard failure.)
+    rule runs a may-analysis over each method's CFG
+    (:mod:`repro.lint.cfg` + :mod:`repro.lint.dataflow`): the facts are
+    open mutations, a bump statement kills them all, and a fact entering
+    a ``return`` node or the normal function exit is a violation.
+    (Paths into the ``raise`` exit are exempt — an exception
+    mid-mutation is already a hard failure.)
     """
 
     rule_id = "RL002"
@@ -274,88 +285,55 @@ class CacheCoherenceRule(Rule):
                         and item.name not in self.EXEMPT_METHODS):
                     yield from self._check_method(ctx, item)
 
+    @staticmethod
+    def _transfer(node: CFGNode,
+                  facts: FrozenSet[object]) -> FrozenSet[object]:
+        stmt = node.stmt
+        if stmt is None or not isinstance(stmt, ast.stmt):
+            return facts
+        if _is_bump(stmt):
+            return frozenset()
+        if isinstance(stmt, ast.Return):
+            # Facts entering a return are reported there; clearing them
+            # keeps an inlined ``finally`` on the return path from
+            # re-reporting the same mutation at the function exit.
+            return frozenset()
+        new = [_MutFact(site.lineno, site.col_offset, attr)
+               for site, attr in _statement_mutations(stmt)]
+        return facts | frozenset(new) if new else facts
+
     def _check_method(self, ctx: FileContext,
                       func: ast.FunctionDef) -> Iterator[Violation]:
-        violations: List[Violation] = []
-        open_after = self._scan(ctx, func.name, func.body, [], violations)
-        if open_after is not _TERMINATED:
-            for stmt, attr in open_after:
-                violations.append(self.violation(
-                    ctx, stmt,
-                    f"WTPG.{func.name} mutates self.{attr} on a path that "
-                    "never bumps the generation counter "
-                    "(self._generation / self._structure_gen or an "
-                    "invalidation helper)"))
-        yield from violations
-
-    def _scan(self, ctx: FileContext, method: str, body: List[ast.stmt],
-              open_muts: List[Tuple[ast.stmt, str]],
-              violations: List[Violation]):
-        """Walk a statement list; returns the still-open mutations after
-        it, or ``_TERMINATED`` if every path through it returns/raises."""
-        current = list(open_muts)
-        for stmt in body:
-            if _is_bump(stmt):
-                current = []
+        cfg = build_cfg(func)
+        result = solve_forward(cfg, UnionLattice(), self._transfer,
+                               frozenset())
+        # Return statements inside a finally body are duplicated across
+        # the CFG's continuation copies; dedup on (return site, fact).
+        reported: set = set()
+        for node in cfg.stmt_nodes():
+            if not isinstance(node.stmt, ast.Return):
                 continue
-            current.extend(_statement_mutations(stmt))
-            if isinstance(stmt, ast.Return):
-                for mutation, attr in current:
-                    violations.append(self.violation(
-                        ctx, stmt,
-                        f"WTPG.{method} returns after mutating self.{attr} "
-                        "without bumping the generation counter"))
-                return _TERMINATED
-            if isinstance(stmt, ast.Raise):
-                return _TERMINATED  # exception paths are exempt
-            if isinstance(stmt, ast.If):
-                then_open = self._scan(ctx, method, stmt.body, current,
-                                       violations)
-                else_open = self._scan(ctx, method, stmt.orelse, current,
-                                       violations)
-                if then_open is _TERMINATED and else_open is _TERMINATED:
-                    return _TERMINATED
-                merged: List[Tuple[ast.stmt, str]] = []
-                for branch in (then_open, else_open):
-                    if branch is not _TERMINATED:
-                        for entry in branch:
-                            if entry not in merged:
-                                merged.append(entry)
-                current = merged
-            elif isinstance(stmt, (ast.For, ast.While)):
-                loop_open = self._scan(ctx, method, stmt.body, current,
-                                       violations)
-                if loop_open is not _TERMINATED:
-                    for entry in loop_open:
-                        if entry not in current:
-                            current.append(entry)
-                else_open = self._scan(ctx, method, stmt.orelse, current,
-                                       violations)
-                if else_open is not _TERMINATED:
-                    current = else_open
-            elif isinstance(stmt, ast.With):
-                with_open = self._scan(ctx, method, stmt.body, current,
-                                       violations)
-                if with_open is _TERMINATED:
-                    return _TERMINATED
-                current = with_open
-            elif isinstance(stmt, ast.Try):
-                try_open = self._scan(ctx, method, stmt.body, current,
-                                      violations)
-                merged = list(current if try_open is _TERMINATED
-                              else try_open)
-                for handler in stmt.handlers:
-                    handler_open = self._scan(ctx, method, handler.body,
-                                              merged, violations)
-                    if handler_open is not _TERMINATED:
-                        for entry in handler_open:
-                            if entry not in merged:
-                                merged.append(entry)
-                final_open = self._scan(ctx, method, stmt.finalbody, merged,
-                                        violations)
-                current = (merged if final_open is _TERMINATED
-                           else final_open)
-        return current
+            for fact in sorted(result.entering(node),
+                               key=lambda f: (f.line, f.col, f.attr)):
+                assert isinstance(fact, _MutFact)
+                key = (node.stmt.lineno, node.stmt.col_offset, fact)
+                if key in reported:
+                    continue
+                reported.add(key)
+                yield self.violation(
+                    ctx, node.stmt,
+                    f"WTPG.{func.name} returns after mutating "
+                    f"self.{fact.attr} without bumping the generation "
+                    "counter")
+        for fact in sorted(result.entering(cfg.exit),
+                           key=lambda f: (f.line, f.col, f.attr)):
+            assert isinstance(fact, _MutFact)
+            yield Violation(
+                self.rule_id, ctx.display, fact.line, fact.col,
+                f"WTPG.{func.name} mutates self.{fact.attr} on a path that "
+                "never bumps the generation counter "
+                "(self._generation / self._structure_gen or an "
+                "invalidation helper)")
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,86 @@
+"""SARIF 2.1.0 output for repro-lint.
+
+One run, one driver, one result per violation.  The emitted document is
+the minimal valid subset GitHub code scanning consumes: driver metadata
+with the rule catalogue (``ruleIndex`` back-references), one
+``physicalLocation`` per result with a repo-relative artifact URI, and a
+``partialFingerprints`` entry reusing the baseline fingerprint so alert
+identity survives line drift.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.baseline import fingerprints_for
+from repro.lint.model import Rule, Violation
+
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+TOOL_NAME = "repro-lint"
+TOOL_VERSION = "1.0.0"
+
+#: partialFingerprints key; versioned so the hashing scheme can evolve.
+FINGERPRINT_KEY = "reproLint/v1"
+
+
+def artifact_uri(file: str, root: Optional[Path] = None) -> str:
+    """Repo-relative posix URI for a violation's file, if possible."""
+    path = Path(file)
+    base = (root or Path.cwd()).resolve()
+    try:
+        return path.resolve().relative_to(base).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def render_sarif(violations: Sequence[Violation], rules: Sequence[Rule],
+                 root: Optional[Path] = None) -> str:
+    """The SARIF 2.1.0 document for one lint run, as a JSON string."""
+    rule_index: Dict[str, int] = {rule.rule_id: i
+                                  for i, rule in enumerate(rules)}
+    fingerprints = fingerprints_for(violations)
+    results: List[dict] = []
+    for violation, fingerprint in zip(violations, fingerprints):
+        result = {
+            "ruleId": violation.rule_id,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": artifact_uri(violation.file, root),
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": violation.line,
+                        # SARIF columns are 1-based; ast's are 0-based.
+                        "startColumn": violation.col + 1,
+                    },
+                },
+            }],
+            "partialFingerprints": {FINGERPRINT_KEY: fingerprint},
+        }
+        if violation.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[violation.rule_id]
+        results.append(result)
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "version": TOOL_VERSION,
+                    "rules": [{
+                        "id": rule.rule_id,
+                        "shortDescription": {"text": rule.summary},
+                    } for rule in rules],
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -8,14 +8,14 @@ it parameters and a workload generator, get back a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Any, Callable, Generator, Optional
 
 from repro.config import SimulationParameters
 from repro.core.history import History
 from repro.core.schedulers import make_scheduler
 from repro.core.schedulers.base import Scheduler
 from repro.core.transaction import TransactionRuntime, TransactionSpec
-from repro.engine import Environment, RandomStreams
+from repro.engine import Environment, Event, RandomStreams
 from repro.faults import FaultInjector, FaultPlan
 from repro.machine.control_node import ControlNode
 from repro.machine.data_node import DataNode
@@ -108,7 +108,7 @@ class Cluster:
         """A data node finished ``objects`` of a step: weight-adjust."""
         self.scheduler.object_processed(txn, objects)
 
-    def _arrival_process(self):
+    def _arrival_process(self) -> Generator[Event, Any, None]:
         """Poisson arrivals; each arrival spawns a transaction process."""
         env = self.env
         mean = self.params.mean_interarrival_clocks

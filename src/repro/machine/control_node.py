@@ -28,13 +28,13 @@ path when its process next runs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.config import SimulationParameters
 from repro.core.history import History
 from repro.core.schedulers.base import Decision, Scheduler
 from repro.core.transaction import LockMode, TransactionRuntime
-from repro.engine import Environment, Resource
+from repro.engine import Environment, Event, Resource
 from repro.errors import FaultError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import RetryPolicy
@@ -87,7 +87,7 @@ class ControlNode:
 
     # -- CPU ------------------------------------------------------------------
 
-    def _cpu_work(self, cost: float):
+    def _cpu_work(self, cost: float) -> Generator[Event, Any, None]:
         """Occupy the CN CPU for ``cost`` clocks (FIFO queueing)."""
         if cost <= 0:
             return
@@ -131,7 +131,8 @@ class ControlNode:
 
     # -- transaction lifecycle ----------------------------------------------------
 
-    def transaction_process(self, txn: TransactionRuntime):
+    def transaction_process(self, txn: TransactionRuntime,
+                            ) -> Generator[Event, Any, None]:
         """The full life of one BAT; run as an engine process.
 
         The outer loop exists for restarts: 2PL deadlock victims and
@@ -282,6 +283,11 @@ class ControlNode:
             txn.commit_time = env.now
             self.active_transactions -= 1
             self._running.discard(txn.tid)
+            # A doom that lands during the commit_time CPU window above
+            # loses the race (commit wins), but its _doomed entry must
+            # not outlive the transaction: it would accumulate forever
+            # in cascade-heavy faulty runs.
+            self._doomed.pop(txn.tid, None)
             if self.history is not None:
                 for partition, mode, granted_at in self._grants.pop(txn.tid):
                     self.history.record(txn.tid, partition, mode,
@@ -292,7 +298,7 @@ class ControlNode:
             return
 
     def _trace(self, kind: EventType, txn: TransactionRuntime,
-               **detail) -> None:
+               **detail: object) -> None:
         if self.tracer is not None:
             self.tracer.emit(self.env.now, kind, txn.tid, **detail)
 

@@ -26,7 +26,7 @@ service-time arithmetic is bit-identical to the fault-free model.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, List, Optional
+from typing import Any, Callable, Deque, Generator, List, Optional
 
 from repro.core.transaction import TransactionRuntime
 from repro.engine import Environment, Event
@@ -171,7 +171,7 @@ class DataNode:
 
     # -- the server loop --------------------------------------------------------
 
-    def _run(self):
+    def _run(self) -> Generator[Event, Any, None]:
         while True:
             if self.crashed:
                 self._recovered = self.env.event()

@@ -19,7 +19,8 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from pathlib import Path
+from typing import Any, Dict, List, Union
 
 from repro.errors import SimulationError
 
@@ -96,14 +97,14 @@ class Tracer:
 
     # -- persistence --------------------------------------------------------------
 
-    def dump_jsonl(self, path) -> None:
+    def dump_jsonl(self, path: Union[str, Path]) -> None:
         """Write the trace as JSON lines."""
         with open(path, "w") as handle:
             for event in self.events:
                 handle.write(event.to_json() + "\n")
 
     @classmethod
-    def load_jsonl(cls, path) -> "Tracer":
+    def load_jsonl(cls, path: Union[str, Path]) -> "Tracer":
         tracer = cls()
         with open(path) as handle:
             for line in handle:

@@ -1,0 +1,106 @@
+"""Fingerprint and baseline-workflow tests for repro.lint.baseline."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.baseline import (BASELINE_VERSION, filter_new, fingerprint,
+                                 fingerprints_for, load_baseline,
+                                 write_baseline)
+from repro.lint.model import Violation
+
+
+def violation_in(path, line, rule_id="RL006", message="leak"):
+    return Violation(rule_id, str(path), line, 4, message)
+
+
+def write_source(tmp_path, name, lines):
+    path = tmp_path / name
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def test_fingerprint_is_stable_and_input_sensitive():
+    base = fingerprint("RL006", "src/a.py", "x.register()", 0)
+    assert base == fingerprint("RL006", "src/a.py", "x.register()", 0)
+    assert base != fingerprint("RL007", "src/a.py", "x.register()", 0)
+    assert base != fingerprint("RL006", "src/b.py", "x.register()", 0)
+    assert base != fingerprint("RL006", "src/a.py", "x.register()", 1)
+
+
+def test_fingerprints_survive_line_drift(tmp_path):
+    """Inserting lines above a finding must not change its fingerprint —
+    the hash covers the line *text*, never the number."""
+    source = write_source(tmp_path, "mod.py",
+                          ["def f():", "    t.register()"])
+    before = fingerprints_for([violation_in(source, 2)], root=tmp_path)
+
+    write_source(tmp_path, "mod.py",
+                 ["# a new comment", "", "def f():", "    t.register()"])
+    after = fingerprints_for([violation_in(source, 4)], root=tmp_path)
+    assert before == after
+
+
+def test_fingerprints_change_when_the_line_itself_changes(tmp_path):
+    source = write_source(tmp_path, "mod.py", ["t.register()"])
+    before = fingerprints_for([violation_in(source, 1)], root=tmp_path)
+    write_source(tmp_path, "mod.py", ["t.register(txn)"])
+    after = fingerprints_for([violation_in(source, 1)], root=tmp_path)
+    assert before != after
+
+
+def test_repeated_identical_lines_get_distinct_occurrence_indices(tmp_path):
+    source = write_source(tmp_path, "mod.py",
+                          ["t.register()", "t.register()"])
+    prints = fingerprints_for(
+        [violation_in(source, 1), violation_in(source, 2)], root=tmp_path)
+    assert len(set(prints)) == 2
+
+
+def test_write_load_round_trip_and_filtering(tmp_path):
+    source = write_source(tmp_path, "mod.py",
+                          ["t.register()", "t.request()"])
+    old = violation_in(source, 1)
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, [old], root=tmp_path)
+
+    baseline = load_baseline(baseline_path)
+    assert len(baseline) == 1
+
+    new = violation_in(source, 2, message="another leak")
+    fresh, matched = filter_new([old, new], baseline, root=tmp_path)
+    assert matched == 1
+    assert fresh == [new]
+
+
+def test_empty_baseline_grandfathers_nothing(tmp_path):
+    source = write_source(tmp_path, "mod.py", ["t.register()"])
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, [], root=tmp_path)
+    fresh, matched = filter_new([violation_in(source, 1)],
+                                load_baseline(baseline_path), root=tmp_path)
+    assert matched == 0
+    assert len(fresh) == 1
+
+
+def test_load_rejects_foreign_and_versioned_files(tmp_path):
+    wrong_tool = tmp_path / "other.json"
+    wrong_tool.write_text(json.dumps({"tool": "other", "version": 1,
+                                      "fingerprints": []}))
+    with pytest.raises(ValueError, match="not a repro-lint baseline"):
+        load_baseline(wrong_tool)
+
+    wrong_version = tmp_path / "future.json"
+    wrong_version.write_text(json.dumps(
+        {"tool": "repro-lint", "version": BASELINE_VERSION + 1,
+         "fingerprints": []}))
+    with pytest.raises(ValueError, match="unsupported baseline version"):
+        load_baseline(wrong_version)
+
+
+def test_committed_baseline_is_empty():
+    """The acceptance bar of the flow-rule sweep: everything the new
+    rules surfaced was fixed, nothing was grandfathered."""
+    committed = load_baseline(Path("lint-baseline.json"))
+    assert committed == set()

@@ -1,0 +1,241 @@
+"""Golden-edge tests for the lint CFG builder.
+
+Each fixture pins the full sorted labelled edge list
+(:meth:`repro.lint.cfg.CFG.edges`) of one function, so any change to the
+builder's modelling decisions — finally duplication, break/else routing,
+implicit-exception targets — shows up as a concrete edge diff rather
+than a silently shifted rule verdict.
+"""
+
+import ast
+import textwrap
+
+from repro.lint.cfg import build_cfg, functions_of
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    fns = functions_of(tree)
+    assert len(fns) == 1
+    return build_cfg(fns[0])
+
+
+def edges_of(source):
+    return cfg_of(source).edges()
+
+
+# -- try/finally ---------------------------------------------------------------
+
+def test_try_finally_duplicates_the_finally_per_continuation():
+    """The normal path runs the ``#2`` finally copy and continues; the
+    exceptional copy (fed by the pre-body frontier and the guarded
+    statement) chains to the raise exit."""
+    edges = edges_of("""\
+        def f(x):
+            try:
+                work(x)
+            finally:
+                cleanup()
+            after(x)
+    """)
+    assert edges == [
+        ("L3:Expr", "L5:Expr#2"),
+        ("L3:Expr", "finally@L5[exc]"),
+        ("L5:Expr", "raise"),
+        ("L5:Expr#2", "L6:Expr"),
+        ("L6:Expr", "exit"),
+        ("entry", "L3:Expr"),
+        ("entry", "finally@L5[exc]"),
+        ("finally@L5[exc]", "L5:Expr"),
+    ]
+
+
+def test_return_inside_try_flows_through_a_fresh_finally_copy():
+    """The return gets its own finally copy feeding ``exit`` — distinct
+    from the exceptional copy, so facts on the return path never
+    contaminate the raise path.  The acquire before the try stays
+    outside the guarded region (no implicit raise edge from L2)."""
+    edges = edges_of("""\
+        def f(lock):
+            lock.acquire()
+            try:
+                return use(lock)
+            finally:
+                lock.release()
+    """)
+    assert edges == [
+        ("L2:Expr", "L4:Return"),
+        ("L2:Expr", "finally@L6[exc]"),
+        ("L4:Return", "L6:Expr#2"),
+        ("L4:Return", "finally@L6[exc]"),
+        ("L6:Expr", "raise"),
+        ("L6:Expr#2", "exit"),
+        ("entry", "L2:Expr"),
+        ("finally@L6[exc]", "L6:Expr"),
+    ]
+
+
+# -- with ----------------------------------------------------------------------
+
+def test_with_is_a_plain_statement_and_return_short_circuits():
+    """``with`` contributes no implicit finally; a return inside the
+    body goes straight to ``exit`` and the dead tail after it is never
+    built (no unreachable nodes)."""
+    edges = edges_of("""\
+        def f(res):
+            with res.open() as h:
+                if h.bad():
+                    return None
+                h.use()
+            return h
+    """)
+    assert edges == [
+        ("L2:With", "L3:If"),
+        ("L3:If", "L4:Return"),
+        ("L3:If", "L5:Expr"),
+        ("L4:Return", "exit"),
+        ("L5:Expr", "L6:Return"),
+        ("L6:Return", "exit"),
+        ("entry", "L2:With"),
+    ]
+
+
+# -- while/else ----------------------------------------------------------------
+
+def test_while_else_break_bypasses_the_else_clause():
+    """Condition-false runs the ``else``; ``break`` jumps past it to the
+    statement after the loop, exactly as Python routes it."""
+    edges = edges_of("""\
+        def f(items):
+            while items:
+                if items.pop():
+                    break
+            else:
+                fallback()
+            return items
+    """)
+    assert edges == [
+        ("L2:While", "L3:If"),
+        ("L2:While", "L6:Expr"),
+        ("L3:If", "L2:While"),
+        ("L3:If", "L4:Break"),
+        ("L4:Break", "L7:Return"),
+        ("L6:Expr", "L7:Return"),
+        ("L7:Return", "exit"),
+        ("entry", "L2:While"),
+    ]
+
+
+def test_while_true_keeps_the_exit_edge():
+    """Documented over-approximation: even ``while True`` gets the
+    condition-false edge, so post-loop code is analysed."""
+    cfg = cfg_of("""\
+        def f(q):
+            while True:
+                q.tick()
+    """)
+    labels = cfg.labels()
+    header = next(n for n in cfg.nodes
+                  if labels[n.index] == "L2:While")
+    assert cfg.exit.index in header.succs
+
+
+def test_for_continue_goes_back_to_the_header():
+    edges = edges_of("""\
+        def f(items):
+            for item in items:
+                if item.skip():
+                    continue
+                handle(item)
+            return items
+    """)
+    assert edges == [
+        ("L2:For", "L3:If"),
+        ("L2:For", "L6:Return"),
+        ("L3:If", "L4:Continue"),
+        ("L3:If", "L5:Expr"),
+        ("L4:Continue", "L2:For"),
+        ("L5:Expr", "L2:For"),
+        ("L6:Return", "exit"),
+        ("entry", "L2:For"),
+    ]
+
+
+# -- nested except / re-raise --------------------------------------------------
+
+def test_nested_except_reraise_propagates_to_the_outer_handler():
+    """A bare ``raise`` in the inner handler flows to the *outer*
+    handler (never a sibling); the outer handler's own statements keep
+    their raise-exit edge.  Pre-body frontiers feed both handlers —
+    an exception can fire before any body statement's effect lands."""
+    edges = edges_of("""\
+        def f(x):
+            try:
+                try:
+                    work(x)
+                except ValueError:
+                    raise
+            except Exception:
+                recover(x)
+            return x
+    """)
+    assert edges == [
+        ("L4:Expr", "L5:ExceptHandler"),
+        ("L4:Expr", "L9:Return"),
+        ("L5:ExceptHandler", "L6:Raise"),
+        ("L6:Raise", "L7:ExceptHandler"),
+        ("L7:ExceptHandler", "L8:Expr"),
+        ("L8:Expr", "L9:Return"),
+        ("L8:Expr", "raise"),
+        ("L9:Return", "exit"),
+        ("entry", "L4:Expr"),
+        ("entry", "L5:ExceptHandler"),
+        ("entry", "L7:ExceptHandler"),
+    ]
+
+
+# -- structural sanity ---------------------------------------------------------
+
+def test_dead_code_after_return_is_never_built():
+    cfg = cfg_of("""\
+        def f(x):
+            return x
+            unreachable(x)
+    """)
+    lines = {n.stmt.lineno for n in cfg.stmt_nodes()}
+    assert lines == {2}
+
+
+def test_every_stmt_node_is_reachable_from_entry():
+    cfg = cfg_of("""\
+        def f(x):
+            try:
+                if x:
+                    return probe(x)
+                for item in x:
+                    if item:
+                        break
+            except ValueError:
+                raise
+            finally:
+                x.close()
+            return x
+    """)
+    reachable = cfg.reachable()
+    for node in cfg.stmt_nodes():
+        assert node.index in reachable, node.base_label()
+
+
+def test_functions_of_returns_methods_in_source_order():
+    tree = ast.parse(textwrap.dedent("""\
+        class C:
+            def b(self):
+                pass
+
+            def a(self):
+                pass
+
+        def top():
+            pass
+    """))
+    assert [fn.name for fn in functions_of(tree)] == ["b", "a", "top"]

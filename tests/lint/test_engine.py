@@ -20,9 +20,10 @@ BAD_SOURCE = (
 )
 
 
-def test_registry_holds_the_five_documented_rules():
+def test_registry_holds_the_eight_documented_rules():
     assert [rule.rule_id for rule in all_rules()] == [
-        "RL001", "RL002", "RL003", "RL004", "RL005"]
+        "RL001", "RL002", "RL003", "RL004", "RL005",
+        "RL006", "RL007", "RL008"]
     assert all(rule.summary for rule in all_rules())
 
 
@@ -46,7 +47,8 @@ def test_json_report_schema():
     assert payload["tool"] == "repro-lint"
     assert payload["version"] == 1
     assert payload["files_checked"] == 1
-    assert payload["rules"] == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+    assert payload["rules"] == ["RL001", "RL002", "RL003", "RL004", "RL005",
+                                "RL006", "RL007", "RL008"]
     assert len(payload["violations"]) == 1
     entry = payload["violations"][0]
     assert set(entry) == {"rule", "file", "line", "col", "message"}
@@ -102,7 +104,8 @@ def test_cli_exit_two_on_missing_path(capsys):
 def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005",
+                    "RL006", "RL007", "RL008"):
         assert rule_id in out
 
 
@@ -130,3 +133,30 @@ def test_rl002_has_teeth_against_the_real_wtpg():
         stripped, display=str(path), logical="repro/core/wtpg.py")
     rl002 = [v for v in violations if v.rule_id == "RL002"]
     assert rl002, "RL002 must catch stripped generation bumps"
+
+
+def test_rl007_has_teeth_against_the_real_wtpg():
+    """Re-reversing the critical-path guard makes RL007 fire.
+
+    Regression pin for the wtpg fix this rule surfaced:
+    ``critical_path_length`` used to read ``self._cp_dist`` *before*
+    comparing ``self._cp_gen`` — harmless only by accident of how the
+    value was used afterwards, and exactly the stale-read shape
+    invariant 7 forbids.  Reintroducing the old shape into the real
+    module source must be caught statically.
+    """
+    path = REPO_ROOT / "src" / "repro" / "core" / "wtpg.py"
+    source = path.read_text(encoding="utf-8")
+    fixed = ("        if self._cp_gen == self._structure_gen "
+             "and self._cp_dist is not None:\n"
+             "            dist = self._cp_dist\n")
+    reverted = ("        dist = self._cp_dist\n"
+                "        if dist is not None "
+                "and self._cp_gen == self._structure_gen:\n")
+    assert fixed in source, "expected the guarded-read form in wtpg.py"
+    violations = LintRunner().check_source(
+        source.replace(fixed, reverted), display=str(path),
+        logical="repro/core/wtpg.py")
+    rl007 = [v for v in violations if v.rule_id == "RL007"]
+    assert rl007, "RL007 must catch the read-before-guard shape"
+    assert "_cp_dist" in rl007[0].message

@@ -1,0 +1,28 @@
+"""Lint-runtime budget: the full-repo run must stay interactive.
+
+The flow-sensitive rules added CFG construction plus a fixpoint solve
+per function; this pins the whole-tree wall clock so an accidentally
+quadratic transfer function (or a non-converging loop eating its
+``max_passes`` budget everywhere) fails CI as a perf regression instead
+of silently degrading pre-commit.  The bound is ~20x the current cost
+(about 0.5s on the CI runners), so it only trips on order-of-magnitude
+blowups, not machine noise.
+"""
+
+import time
+from pathlib import Path
+
+from repro.lint import LintRunner
+
+BUDGET_SECONDS = 10.0
+
+
+def test_full_repo_lint_stays_under_budget():
+    runner = LintRunner()
+    start = time.perf_counter()
+    violations = runner.check_paths([Path("src")])
+    elapsed = time.perf_counter() - start
+    assert violations == []  # the acceptance bar: clean with no baseline
+    assert elapsed < BUDGET_SECONDS, (
+        f"lint run took {elapsed:.2f}s (budget {BUDGET_SECONDS}s): "
+        "a flow rule's transfer function has likely regressed")

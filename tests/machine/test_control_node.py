@@ -114,6 +114,31 @@ class TestRetrySemantics:
         assert t2.commit_time > 2000
         assert (t2.commit_time - 1000) % 500 == pytest.approx(0, abs=1e-6)
 
+    def test_doom_during_commit_window_leaves_no_stale_entry(self):
+        """Regression (RL006 review follow-up): a cascade doom landing
+        while the coordinator is charging commit_time loses the race —
+        the commit proceeds — but its `_doomed` entry used to outlive
+        the transaction forever, accumulating across cascade-heavy
+        faulty runs.  The commit path must reap it."""
+        env, cn, metrics = build(startup_time=20, commit_time=50,
+                                 admission_time=5, dd_time=5)
+        t = txn(1, [Step.read(0, 2)])
+        env.process(cn.transaction_process(t))
+        landed = []
+
+        def doom_mid_commit():
+            # Commit window is [2030, 2080) for this configuration
+            # (admission 5 + startup 20 + lock 5 + work 2000 + commit 50).
+            yield env.timeout(2040)
+            landed.append(cn.request_abort(1, "cascade"))
+
+        env.process(doom_mid_commit())
+        env.run()
+        assert landed == [True]          # the doom really hit the window
+        assert metrics.commits == 1      # ...and the commit still won
+        assert t.commit_time == 2080
+        assert cn._doomed == {}          # no stale entry survives
+
     def test_admission_rejection_counts_attempts(self):
         env, cn, _ = build(scheduler_name="ASL", retry_delay=500,
                            startup_time=0, commit_time=0)
