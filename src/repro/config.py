@@ -98,6 +98,18 @@ class SimulationParameters:
     """K-WTPG E(q) evaluation: 'overlay' (copy-free, fast) or 'reference'
     (legacy deep-copy, kept for differential testing)."""
 
+    # -- engine ----------------------------------------------------------------
+    node_mode: str = "batched"
+    """Data-node server loop: 'batched' (arithmetic quantum batching, one
+    engine timeout per uninterrupted window) or 'reference' (one timeout
+    per object quantum).  Bit-identical results; 'reference' is kept for
+    differential testing."""
+
+    trace_sample_rate: float = 1.0
+    """Fraction of transactions whose lifecycle events an attached Tracer
+    records (deterministic per-tid choice; machine-level events are always
+    kept).  1.0 records everything — identical to an unsampled tracer."""
+
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
             raise ConfigurationError("num_nodes must be >= 1")
@@ -130,6 +142,12 @@ class SimulationParameters:
         if self.estimator_mode not in ("overlay", "reference"):
             raise ConfigurationError(
                 "estimator_mode must be 'overlay' or 'reference'")
+        if self.node_mode not in ("batched", "reference"):
+            raise ConfigurationError(
+                "node_mode must be 'batched' or 'reference'")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ConfigurationError(
+                "trace_sample_rate must lie in [0, 1]")
 
     @property
     def mean_interarrival_clocks(self) -> float:

@@ -142,6 +142,20 @@ class Scheduler:
         txn.note_object_processed(objects)
         self._object_processed(txn, objects)
 
+    def object_processed_batch(self, txn: TransactionRuntime,
+                               full_quanta: int) -> None:
+        """``full_quanta`` whole-object weight adjustments in one call.
+
+        Contract: must be bit-identical to ``full_quanta`` successive
+        calls of :meth:`object_processed` with ``objects=1.0``.  The base
+        implementation simply loops (always safe); schedulers whose
+        per-object hook coalesces exactly may override — the batched
+        data-node path calls this once per run of uninterrupted whole
+        quanta instead of once per object.
+        """
+        for _ in range(full_quanta):
+            self.object_processed(txn, 1.0)
+
     def commit(self, txn: TransactionRuntime, now: float = 0.0) -> None:
         self._commit(txn, now)
         self.stats.commits += 1
@@ -263,6 +277,21 @@ class WTPGScheduler(Scheduler):
                           objects: float = 1.0) -> None:
         if txn.tid in self.wtpg:
             self.wtpg.decrement_source(txn.tid, objects)
+
+    def object_processed_batch(self, txn: TransactionRuntime,
+                               full_quanta: int) -> None:
+        """Coalesced whole-object adjustments (see the base contract).
+
+        Exact because both sinks only *subtract clamped integers* from
+        positive doubles — always exact, so one subtraction of
+        ``float(full_quanta)`` equals the unit-subtraction chain — and
+        the WTPG generation counter bumps once instead of per object,
+        which is unobservable (generation values only guard caches and
+        any bump invalidates them).
+        """
+        txn.note_objects_batch(full_quanta)
+        if txn.tid in self.wtpg:
+            self.wtpg.decrement_source(txn.tid, float(full_quanta))
 
     def _commit(self, txn: TransactionRuntime, now: float) -> None:
         builder.remove_transaction(self.wtpg, self.table, txn.tid)

@@ -201,6 +201,34 @@ class TransactionRuntime:
         self.remaining_declared = max(0.0, self.remaining_declared - objects)
         self.objects_done += objects
 
+    def note_objects_batch(self, full_quanta: int) -> None:
+        """Account ``full_quanta`` whole objects in one call.
+
+        Bit-identical to ``full_quanta`` calls of
+        :meth:`note_object_processed` with ``objects=1.0``:
+
+        * ``remaining_declared`` — subtracting an exactly representable
+          positive integer from a positive double is exact (the result
+          stays a multiple of the source's ulp with < 2**53 of them), so
+          one clamped subtraction of ``float(full_quanta)`` equals the
+          chain of clamped unit subtractions; once a chained step clamps
+          to zero every later step stays zero, as does the single
+          subtraction.
+        * ``objects_done`` — integer-valued floats add exactly, so the
+          coalesced add is used only on that fast path; a fractional
+          accumulator (e.g. after a 0.2-object write tail) replays the
+          unit adds, whose roundings the coalesced form would not match.
+        """
+        self.remaining_declared = max(
+            0.0, self.remaining_declared - full_quanta)
+        done = self.objects_done
+        if done.is_integer():
+            self.objects_done = done + full_quanta
+        else:
+            for _ in range(full_quanta):
+                done += 1.0
+            self.objects_done = done
+
     def advance_step(self) -> None:
         """Mark the current step finished and move to the next."""
         if self.finished_all_steps:

@@ -9,25 +9,52 @@ concepts are:
 * :class:`Process` — a generator wrapped as an event.  The generator yields
   events; the process resumes when each yielded event fires and the process
   event itself succeeds with the generator's return value.
-* :class:`Environment` — the clock plus a heap of ``(time, seq, event)``
-  entries.  Same-time events are processed in schedule order, which makes
-  whole simulations reproducible bit-for-bit.
+* :class:`Environment` — the clock plus a heap of events.  Same-time events
+  are processed in schedule order, which makes whole simulations
+  reproducible bit-for-bit.
+
+The heap is a *slab* heap: :class:`Event` instances are pushed directly
+(ordered by their ``_when``/``_order`` slots via :meth:`Event.__lt__`)
+instead of being boxed into ``(time, seq, event)`` tuples.  That removes one
+tuple allocation and two indirections per scheduled event — the hottest
+allocation site of a run.  Removal from the middle of the heap is lazy:
+:meth:`Environment.unschedule` marks the entry dead and the pop loop skips
+it, so cancellations cost O(1) instead of O(n).
+
+Every class on this hot path is ``__slots__``-ed and registered in
+:data:`HOT_CLASSES`; ``tests/engine/test_slots.py`` guards the registry so a
+future field addition cannot silently reintroduce per-instance dicts.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappush, heappop
 from itertools import count
 from typing import (Any, Callable, Dict, Generator, Iterable, List, Optional,
-                    Tuple, Union)
+                    TypeVar, Union)
 
 from repro.errors import EngineStateError
 
 _PENDING = object()
 
+#: Classes whose instances populate the event heap or the per-event hot
+#: path.  Each must be fully ``__slots__``-ed (no instance ``__dict__``).
+HOT_CLASSES: List[type] = []
 
+_T = TypeVar("_T", bound=type)
+
+
+def register_hot_class(cls: _T) -> _T:
+    """Class decorator: add ``cls`` to the slots-guarded registry."""
+    HOT_CLASSES.append(cls)
+    return cls
+
+
+@register_hot_class
 class _FailureCarrier:
     """Minimal event-shaped object used to throw an error into a process."""
+
+    __slots__ = ("_ok", "_value", "_defused")
 
     def __init__(self, exception: BaseException) -> None:
         self._ok = False
@@ -39,6 +66,7 @@ def _failure(exception: BaseException) -> "_FailureCarrier":
     return _FailureCarrier(exception)
 
 
+@register_hot_class
 class Event:
     """A one-shot occurrence inside an :class:`Environment`.
 
@@ -46,6 +74,9 @@ class Event:
     schedules it, and the environment then *processes* it, running the
     attached callbacks.  Processes wait on events simply by yielding them.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed",
+                 "_defused", "_when", "_order", "_dead")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -56,6 +87,16 @@ class Event:
         # Failures must not pass silently: if a failed event is never
         # yielded-on, the environment re-raises at the end of the run.
         self._defused = False
+        # Slab-heap fields, set by Environment._schedule; ``_dead`` marks
+        # a lazily deleted entry that the pop loop discards.
+        self._when = 0.0
+        self._order = 0
+        self._dead = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self._when != other._when:
+            return self._when < other._when
+        return self._order < other._order
 
     @property
     def triggered(self) -> bool:
@@ -81,7 +122,7 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value`` (chainable)."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise EngineStateError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
@@ -90,7 +131,7 @@ class Event:
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with an exception (chainable)."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise EngineStateError(f"{self!r} has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
@@ -105,8 +146,11 @@ class Event:
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
+@register_hot_class
 class Timeout(Event):
     """An event that fires ``delay`` time units after its creation."""
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
@@ -118,8 +162,11 @@ class Timeout(Event):
         env._schedule(self, delay=delay)
 
 
+@register_hot_class
 class Initialize(Event):
     """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
@@ -129,6 +176,7 @@ class Initialize(Event):
         env._schedule(self)
 
 
+@register_hot_class
 class Process(Event):
     """A running process; also an event that fires when the process ends.
 
@@ -136,6 +184,8 @@ class Process(Event):
     event fails, the exception is thrown into the generator, so processes can
     handle failures with ordinary ``try``/``except``.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment",
                  generator: Generator["Event", Any, Any]) -> None:
@@ -219,12 +269,15 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+@register_hot_class
 class Condition(Event):
     """An event that triggers based on a set of sub-events.
 
     Used through :class:`AnyOf` / :class:`AllOf`.  The value is a dict
     mapping each *triggered* sub-event to its value at trigger time.
     """
+
+    __slots__ = ("_events", "_evaluate", "_done")
 
     def __init__(self, env: "Environment", events: Iterable[Event],
                  evaluate: Callable[[int, int], bool]) -> None:
@@ -266,28 +319,38 @@ class Condition(Event):
             self.succeed(self._collect())
 
 
+@register_hot_class
 class AnyOf(Condition):
     """Triggers as soon as any sub-event triggers."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, events, lambda total, done: done >= 1)
 
 
+@register_hot_class
 class AllOf(Condition):
     """Triggers when every sub-event has triggered."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, events, lambda total, done: done == total)
 
 
+@register_hot_class
 class Environment:
     """The simulation clock and event loop."""
 
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "_run_until")
+
     def __init__(self, initial_time: float = 0) -> None:
         self._now = initial_time
-        self._queue: List[Tuple[float, int, Event]] = []
+        self._queue: List[Event] = []
         self._seq = count()
         self._active_process: Optional[Process] = None
+        self._run_until = float("inf")
 
     @property
     def now(self) -> float:
@@ -309,6 +372,27 @@ class Environment:
         """Create an event that fires ``delay`` units from now."""
         return Timeout(self, delay, value)
 
+    def timeout_until(self, when: float, value: Any = None) -> Event:
+        """An event that fires at the *absolute* time ``when``.
+
+        Equivalent to ``timeout(when - now)`` except that the firing
+        instant is exactly ``when``: the ``now + (when - now)`` float
+        round-trip of a relative delay is not guaranteed to reproduce
+        ``when`` bit-for-bit.  The batched data-node loop relies on this
+        to land its coalesced quantum boundary on the identical instant
+        the reference per-quantum loop would have reached additively.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"timeout_until({when!r}) lies in the past (now={self._now!r})")
+        event = Event(self)
+        event._ok = True
+        event._value = value
+        event._when = when
+        event._order = next(self._seq)
+        heappush(self._queue, event)
+        return event
+
     def process(self, generator: Generator[Event, Any, Any]) -> Process:
         """Start ``generator`` as a process; returns its process event."""
         return Process(self, generator)
@@ -324,25 +408,61 @@ class Environment:
     # -- scheduling --------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float = 0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+        event._when = self._now + delay
+        event._order = next(self._seq)
+        heappush(self._queue, event)
+
+    def unschedule(self, event: Event) -> None:
+        """Lazily remove a scheduled-but-unprocessed event from the queue.
+
+        The heap entry is only marked; the pop loop discards it when it
+        surfaces.  The event must not be rescheduled afterwards.
+        """
+        if event._processed:
+            raise EngineStateError("cannot unschedule a processed event")
+        event._dead = True
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if head._dead:
+                heappop(queue)
+                continue
+            return head._when
+        return float("inf")
+
+    def horizon(self) -> float:
+        """Earliest instant anything other than the caller can observe.
+
+        The minimum of the next live event's time and the active
+        ``run(until=<time>)`` cutoff.  The cutoff matters: it is enforced
+        by the run loop, not by a heap entry, so :meth:`peek` alone would
+        let a batching process pre-account work completing *after* the
+        instant the run stops and state is inspected.
+        """
+        when = self.peek()
+        return when if when < self._run_until else self._run_until
 
     def step(self) -> None:
         """Process exactly one event, advancing the clock to its time."""
-        if not self._queue:
-            raise EngineStateError("no more events to process")
-        when, _, event = heapq.heappop(self._queue)
-        self._now = when
-        callbacks, event.callbacks = event.callbacks, []
-        event._processed = True
-        for callback in callbacks:
-            callback(event)
-        if not event._ok and not event._defused and not callbacks:
-            # A failure nobody waited on: surface it instead of losing it.
-            raise event._value
+        queue = self._queue
+        while queue:
+            event = heappop(queue)
+            if event._dead:
+                continue
+            self._now = event._when
+            callbacks = event.callbacks
+            event.callbacks = []
+            event._processed = True
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused and not callbacks:
+                # A failure nobody waited on: surface it, don't lose it.
+                raise event._value
+            return
+        raise EngineStateError("no more events to process")
 
     def run(self, until: Union[float, Event, None] = None) -> Any:
         """Run until the queue drains, ``until`` time passes, or an event.
@@ -362,16 +482,40 @@ class Environment:
                     f"until ({stop_time}) must not lie in the past "
                     f"(now={self._now})")
 
-        while self._queue:
-            if stop_event is not None and stop_event._processed:
-                if not stop_event._ok:
-                    stop_event._defused = True
-                    raise stop_event._value
-                return stop_event._value
-            if self.peek() > stop_time:
-                self._now = stop_time
-                return None
-            self.step()
+        # Publish the cutoff so Environment.horizon() (the batched
+        # data-node's pre-play bound) never looks past the instant this
+        # run stops and counters become observable.
+        self._run_until = stop_time
+
+        # The hot loop: identical semantics to repeated step() calls, with
+        # the pop/dispatch inlined so the per-event overhead is one heap
+        # operation plus the callback calls.
+        queue = self._queue
+        try:
+            while queue:
+                head = queue[0]
+                if head._dead:
+                    heappop(queue)
+                    continue
+                if stop_event is not None and stop_event._processed:
+                    if not stop_event._ok:
+                        stop_event._defused = True
+                        raise stop_event._value
+                    return stop_event._value
+                if head._when > stop_time:
+                    self._now = stop_time
+                    return None
+                heappop(queue)
+                self._now = head._when
+                callbacks = head.callbacks
+                head.callbacks = []
+                head._processed = True
+                for callback in callbacks:
+                    callback(head)
+                if not head._ok and not head._defused and not callbacks:
+                    raise head._value
+        finally:
+            self._run_until = float("inf")
 
         if stop_event is not None:
             if stop_event._processed:

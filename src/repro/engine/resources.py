@@ -18,6 +18,10 @@ The usage protocol mirrors SimPy::
         yield env.timeout(cost)
     finally:
         cpu.release(req)
+
+Cancelling a queued request is *lazy* in both resource flavours: the
+request is flagged and the wake-up loop discards it when it surfaces, so a
+cancellation costs O(1) instead of an O(n) scan of the wait queue.
 """
 
 from __future__ import annotations
@@ -27,18 +31,23 @@ from itertools import count
 from typing import Any, Deque, List, Optional, Tuple
 from collections import deque
 
-from repro.engine.core import Environment, Event
+from repro.engine.core import Environment, Event, register_hot_class
 from repro.errors import EngineStateError
 
 
+@register_hot_class
 class Request(Event):
     """A pending or granted claim on a :class:`Resource`."""
+
+    __slots__ = ("resource", "_cancelled")
 
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
+        self._cancelled = False
 
 
+@register_hot_class
 class Resource:
     """A counted resource with FIFO discipline.
 
@@ -47,6 +56,9 @@ class Resource:
     queued request (e.g. after losing a race with a timeout) is supported
     via :meth:`cancel`.
     """
+
+    __slots__ = ("env", "capacity", "_in_use", "_waiting", "_busy_area",
+                 "_last_change", "_cancelled_waiting")
 
     def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity < 1:
@@ -58,6 +70,8 @@ class Resource:
         # Cumulative busy integral for utilization reporting.
         self._busy_area = 0.0
         self._last_change = env.now
+        # Lazily cancelled requests still sitting in _waiting.
+        self._cancelled_waiting = 0
 
     @property
     def in_use(self) -> int:
@@ -66,8 +80,8 @@ class Resource:
 
     @property
     def queue_length(self) -> int:
-        """Number of requests waiting for a unit."""
-        return len(self._waiting)
+        """Number of live requests waiting for a unit."""
+        return len(self._waiting) - self._cancelled_waiting
 
     def _account(self) -> None:
         now = self.env.now
@@ -105,31 +119,40 @@ class Resource:
         self._wake_next()
 
     def cancel(self, request: Request) -> None:
-        """Withdraw a queued (ungranted) request."""
+        """Withdraw a queued (ungranted) request — lazy, O(1)."""
         if request.triggered:
             raise EngineStateError("cannot cancel a granted request")
-        try:
-            self._waiting.remove(request)
-        except ValueError:
+        if request.resource is not self or request._cancelled:
             raise EngineStateError("request is not queued on this resource")
+        request._cancelled = True
+        self._cancelled_waiting += 1
 
     def _wake_next(self) -> None:
         while self._waiting and self._in_use < self.capacity:
             req = self._waiting.popleft()
+            if req._cancelled:
+                self._cancelled_waiting -= 1
+                continue
             self._in_use += 1
             req.succeed()
 
 
+@register_hot_class
 class PriorityRequest(Request):
     """A claim on a :class:`PriorityResource` carrying a priority key."""
+
+    __slots__ = ("priority",)
 
     def __init__(self, resource: "PriorityResource", priority: float) -> None:
         super().__init__(resource)
         self.priority = priority
 
 
+@register_hot_class
 class PriorityResource(Resource):
     """A counted resource serving lower-priority-value requests first."""
+
+    __slots__ = ("_heap", "_ticket")
 
     def __init__(self, env: Environment, capacity: int = 1) -> None:
         super().__init__(env, capacity)
@@ -154,19 +177,22 @@ class PriorityResource(Resource):
         if request.triggered:
             raise EngineStateError("cannot cancel a granted request")
         # Lazy deletion: mark and skip at wake time.
-        request._cancelled = True  # type: ignore[attr-defined]
+        request._cancelled = True
 
     def _wake_next(self) -> None:
         while self._heap and self._in_use < self.capacity:
             _, _, req = heapq.heappop(self._heap)
-            if getattr(req, "_cancelled", False):
+            if req._cancelled:
                 continue
             self._in_use += 1
             req.succeed()
 
 
+@register_hot_class
 class Store:
     """An unbounded FIFO channel of items between processes."""
+
+    __slots__ = ("env", "_items", "_getters")
 
     def __init__(self, env: Environment) -> None:
         self.env = env

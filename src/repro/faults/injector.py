@@ -155,14 +155,14 @@ class FaultInjector:
                           ) -> Generator[Event, Any, None]:
         if slowdown.at > env.now:
             yield env.timeout(slowdown.at - env.now)
-        for node in nodes:
-            node.apply_slowdown(slowdown.factor)
+        tokens = [(node, node.apply_slowdown(slowdown.factor))
+                  for node in nodes]
         self._record("slowdown_start", env.now,
                      partition=slowdown.partition, factor=slowdown.factor,
                      nodes=[n.node_id for n in nodes])
         yield env.timeout(slowdown.until - env.now)
-        for node in nodes:
-            node.clear_slowdown(slowdown.factor)
+        for node, token in tokens:
+            node.clear_slowdown(token)
         self._record("slowdown_end", env.now, partition=slowdown.partition,
                      factor=slowdown.factor)
 

@@ -88,8 +88,12 @@ class Cluster:
         self.history = History() if record_history else None
         self.data_nodes = [
             DataNode(self.env, node_id, params.obj_time,
-                     on_objects=self._on_objects)
+                     on_objects=self._on_objects,
+                     on_objects_batch=self._on_objects_batch,
+                     mode=params.node_mode)
             for node_id in range(params.num_nodes)]
+        if tracer is not None and params.trace_sample_rate < 1.0:
+            tracer.sample_rate = params.trace_sample_rate
         self.tracer = tracer
         # An absent or empty plan builds no injector at all: no extra
         # random draws, no extra engine processes — the run is
@@ -107,6 +111,11 @@ class Cluster:
     def _on_objects(self, txn: TransactionRuntime, objects: float) -> None:
         """A data node finished ``objects`` of a step: weight-adjust."""
         self.scheduler.object_processed(txn, objects)
+
+    def _on_objects_batch(self, txn: TransactionRuntime,
+                          full_quanta: int) -> None:
+        """Coalesced weight adjustment for a batched run of whole quanta."""
+        self.scheduler.object_processed_batch(txn, full_quanta)
 
     def _arrival_process(self) -> Generator[Event, Any, None]:
         """Poisson arrivals; each arrival spawns a transaction process."""

@@ -12,6 +12,20 @@ The simple single-server model is the paper's own justification: a bulk
 operation runs as a processor-disk pipeline and is I/O-bound, so one
 object at a time per node captures the resource contention that matters.
 
+Two bit-identical server loops implement the model:
+
+* ``mode="reference"`` — the literal loop: one engine timeout per object
+  quantum.  At 10^5-10^6 bulk transactions that is tens of millions of
+  Python-level heap events.
+* ``mode="batched"`` (default) — between scheduler events the round-robin
+  interleaving is fully determined, so quanta whose end lies strictly
+  before the next pending engine event are *pre-played* arithmetically
+  and only one timeout per window is yielded (see :meth:`_run_batched`
+  for the equivalence argument).  Statistics, message counts, weight
+  adjustments and all event orderings are bit-identical to the
+  reference loop; ``tests/machine/test_node_equivalence.py`` proves it
+  under every scheduler and fault plan.
+
 Fault support (:mod:`repro.faults`): a node can :meth:`crash` — every
 resident step fails with :class:`~repro.errors.FaultError` and new
 submissions are refused until :meth:`recover` — and individual
@@ -19,25 +33,33 @@ transactions can be :meth:`cancel`-led (cascade aborts).  A crash or
 cancellation takes effect at the current quantum boundary: the in-flight
 object's I/O still occupies the device, but its result is discarded (no
 weight-adjustment message, no progress).  I/O slowdown windows stack
-multiplicatively via :meth:`apply_slowdown`; with no active factors the
-service-time arithmetic is bit-identical to the fault-free model.
+multiplicatively via :meth:`apply_slowdown`, which returns a
+:class:`SlowdownToken` handle that :meth:`clear_slowdown` takes back —
+two numerically equal windows from different fault-plan entries cannot
+remove each other.  With no active factors the service-time arithmetic
+is bit-identical to the fault-free model.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Generator, List, Optional
+from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
 from repro.core.transaction import TransactionRuntime
 from repro.engine import Environment, Event
+from repro.engine.core import register_hot_class
 from repro.errors import FaultError
 
 # Tolerance when deciding a step's remaining object count is exhausted.
 _EPSILON = 1e-9
 
 ObjectCallback = Callable[[TransactionRuntime, float], None]
+BatchCallback = Callable[[TransactionRuntime, int], None]
+
+NODE_MODES = ("batched", "reference")
 
 
+@register_hot_class
 class _WorkItem:
     """One step of one transaction being bulk-processed at this node."""
 
@@ -51,17 +73,40 @@ class _WorkItem:
         self.cancelled = False
 
 
+@register_hot_class
+class SlowdownToken:
+    """Handle for one active I/O slowdown window on one node."""
+
+    __slots__ = ("factor", "_active")
+
+    def __init__(self, factor: float) -> None:
+        self.factor = factor
+        self._active = True
+
+
 class DataNode:
     """One data-processing node: round-robin object quanta."""
 
     def __init__(self, env: Environment, node_id: int, obj_time: float,
-                 on_objects: Optional[ObjectCallback] = None) -> None:
+                 on_objects: Optional[ObjectCallback] = None,
+                 on_objects_batch: Optional[BatchCallback] = None,
+                 mode: str = "batched") -> None:
         if obj_time <= 0:
             raise ValueError(f"obj_time must be positive, got {obj_time}")
+        if mode not in NODE_MODES:
+            raise ValueError(f"node mode must be one of {NODE_MODES}, "
+                             f"got {mode!r}")
         self.env = env
         self.node_id = node_id
-        self.obj_time = obj_time
+        # Coerced so the integral-exactness fast paths can use
+        # float.is_integer (callers may pass an int).
+        self.obj_time = float(obj_time)
+        self.mode = mode
         self.on_objects = on_objects or (lambda txn, n: None)
+        # The coalesced form of ``k`` whole-object callbacks.  The
+        # fallback loop is always bit-identical; the cluster wires this
+        # to Scheduler.object_processed_batch, which coalesces exactly.
+        self.on_objects_batch = on_objects_batch or self._loop_on_objects
         self.busy_time = 0.0
         self.objects_processed = 0.0
         self.messages_sent = 0
@@ -70,8 +115,14 @@ class DataNode:
         self._current: Optional[_WorkItem] = None
         self._wakeup: Optional[Event] = None
         self._recovered: Optional[Event] = None
-        self._slow_factors: List[float] = []
-        self._process = env.process(self._run())
+        self._slow_factors: List[SlowdownToken] = []
+        self._process = env.process(
+            self._run_batched() if mode == "batched" else self._run())
+
+    def _loop_on_objects(self, txn: TransactionRuntime,
+                         full_quanta: int) -> None:
+        for _ in range(full_quanta):
+            self.on_objects(txn, 1.0)
 
     @property
     def resident_transactions(self) -> int:
@@ -106,9 +157,11 @@ class DataNode:
     def crash(self) -> int:
         """Fail every resident step; refuse work until :meth:`recover`.
 
-        Returns the number of steps killed.  The in-flight quantum (if
-        any) still finishes occupying the device, but its result is
-        discarded.
+        Returns the number of steps actually killed — steps whose
+        ``done`` event already triggered (completion or a racing
+        cancellation in the same instant) are not counted.  The
+        in-flight quantum (if any) still finishes occupying the device,
+        but its result is discarded.
         """
         self.crashed = True
         victims = list(self._queue)
@@ -116,15 +169,17 @@ class DataNode:
         if self._current is not None and not self._current.cancelled:
             self._current.cancelled = True
             victims.append(self._current)
+        killed = 0
         for item in victims:
             if not item.done.triggered:
                 item.done.fail(FaultError(
                     f"node {self.node_id} crashed under "
                     f"T{item.txn.tid}", kind="crash"))
+                killed += 1
         # Wake the server loop so it parks in the crashed state.
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
-        return len(victims)
+        return killed
 
     def recover(self) -> None:
         """Bring a crashed node back into service (empty queue)."""
@@ -135,8 +190,9 @@ class DataNode:
     def cancel(self, tid: int, kind: str = "injected") -> int:
         """Fail transaction ``tid``'s resident steps (cascade abort).
 
-        Returns the number of steps killed; 0 when the transaction has
-        nothing resident here.
+        Returns the number of steps actually killed (steps whose
+        ``done`` already triggered are skipped and not counted); 0 when
+        the transaction has nothing resident here.
         """
         victims = [item for item in self._queue if item.txn.tid == tid]
         if victims:
@@ -147,31 +203,43 @@ class DataNode:
                 and not current.cancelled):
             current.cancelled = True
             victims.append(current)
+        killed = 0
         for item in victims:
             if not item.done.triggered:
                 item.done.fail(FaultError(
                     f"T{tid} cancelled at node {self.node_id}", kind=kind))
-        return len(victims)
+                killed += 1
+        return killed
 
-    def apply_slowdown(self, factor: float) -> None:
-        """Stack an I/O slowdown factor (composes multiplicatively)."""
+    def apply_slowdown(self, factor: float) -> SlowdownToken:
+        """Stack an I/O slowdown factor (composes multiplicatively).
+
+        Returns a token that :meth:`clear_slowdown` takes back, so two
+        numerically equal windows stay distinguishable.
+        """
         if factor <= 0:
             raise ValueError(f"slowdown factor must be positive: {factor}")
-        self._slow_factors.append(factor)
+        token = SlowdownToken(factor)
+        self._slow_factors.append(token)
+        return token
 
-    def clear_slowdown(self, factor: float) -> None:
-        """Remove one previously applied slowdown factor."""
-        self._slow_factors.remove(factor)
+    def clear_slowdown(self, token: SlowdownToken) -> None:
+        """Remove one previously applied slowdown window by its token."""
+        if not token._active or token not in self._slow_factors:
+            raise ValueError("slowdown token is not active on this node")
+        token._active = False
+        self._slow_factors.remove(token)
 
     def _service_time(self, quantum: float) -> float:
         service = quantum * self.obj_time
-        for factor in self._slow_factors:
-            service *= factor
+        for token in self._slow_factors:
+            service *= token.factor
         return service
 
-    # -- the server loop --------------------------------------------------------
+    # -- the reference server loop ---------------------------------------------
 
     def _run(self) -> Generator[Event, Any, None]:
+        """One engine timeout per object quantum — the literal model."""
         while True:
             if self.crashed:
                 self._recovered = self.env.event()
@@ -202,3 +270,153 @@ class DataNode:
                 self._queue.append(item)  # round-robin: go to the back
             else:
                 item.done.succeed()
+
+    # -- the batched server loop -----------------------------------------------
+    #
+    # Equivalence argument (each decision point at time t0, with
+    # horizon = env.horizon(): the earliest pending event or the active
+    # run(until=) cutoff, whichever comes first — the cutoff is an
+    # observation instant too, since the run stops there and counters
+    # are read):
+    #
+    # * Quanta whose end falls *strictly before* the horizon and that do
+    #   not complete their item are pre-played: no other event fires
+    #   inside that span, so accounting them early is unobservable; the
+    #   boundary times are accumulated with the identical float
+    #   additions the reference timeouts would have produced.
+    # * The first quantum that completes an item or whose end reaches
+    #   the horizon is *yielded* as one timeout at its absolute end time
+    #   (``timeout_until`` — ``t + (e - t)`` is not bit-exact).
+    #   Completions must be yielded because ``done.succeed()`` wakes the
+    #   control node; horizon-crossing quanta must be yielded because a
+    #   foreign event may cancel/crash mid-quantum, which the resume
+    #   handles exactly as the reference loop does.
+    # * Same-time tie order is preserved: the yielded timeout's sequence
+    #   number is drawn at t0, before any event that a foreign firing
+    #   (all at times >= horizon > every pre-played boundary) could
+    #   schedule — matching the reference, whose final-quantum timeout
+    #   was drawn at the last pre-horizon boundary, likewise before any
+    #   foreign firing.  Events already in the heap at t0 keep their
+    #   earlier sequence numbers in both modes.
+    # * When the horizon equals t0 (another event is pending in this
+    #   very instant — e.g. a completion cascade that may submit here),
+    #   no pre-play happens and the loop degrades to the reference
+    #   single-quantum behaviour.
+    #
+    # The pre-play accounting coalesces the per-object callback chain
+    # (scheduler weight adjustment) through on_objects_batch, which is
+    # exact for whole quanta; fractional quanta always terminate an item
+    # and therefore always travel the yielded path.
+
+    def _run_batched(self) -> Generator[Event, Any, None]:
+        env = self.env
+        while True:
+            if self.crashed:
+                self._recovered = env.event()
+                yield self._recovered
+                self._recovered = None
+                continue
+            if not self._queue:
+                self._wakeup = env.event()
+                yield self._wakeup
+                self._wakeup = None
+                continue
+            item = self._queue.popleft()
+            self._current = item
+            t = env.now
+            horizon = env.horizon()
+            if horizon > t:
+                if not self._queue and not self._slow_factors:
+                    item, t = self._preplay_single(item, t, horizon)
+                else:
+                    item, t = self._preplay_rr(item, t, horizon)
+            # The yielded quantum: bit-identical to one reference
+            # iteration (same service value, same absolute end instant,
+            # same cancellation check at resume).
+            quantum = min(1.0, item.remaining)
+            service = self._service_time(quantum)
+            yield env.timeout_until(t + service)
+            self._current = None
+            self.busy_time += service
+            if item.cancelled:
+                continue
+            self.objects_processed += quantum
+            self.messages_sent += 1
+            self.on_objects(item.txn, quantum)
+            item.remaining -= quantum
+            if item.remaining > _EPSILON:
+                self._queue.append(item)
+            else:
+                item.done.succeed()
+
+    def _preplay_single(self, item: _WorkItem, t: float,
+                        horizon: float) -> Tuple[_WorkItem, float]:
+        """Coalesced pre-play: sole resident item, no slowdown factors.
+
+        Counts the run of whole, non-completing quanta ending strictly
+        before ``horizon``, then accounts them in one go.  The boundary
+        times and the remaining-object countdown replay the reference
+        loop's float additions one by one (additions may round at
+        exponent crossings, so they cannot be coalesced); the *integer*
+        aggregate updates use a single arithmetic step only where that
+        is provably exact.
+        """
+        svc = self.obj_time
+        rem = item.remaining
+        n = 0
+        # A quantum is pre-playable iff it is whole and leaves work
+        # behind (rem - 1.0 > eps, i.e. the reference loop would have
+        # re-queued the item) and its end stays below the horizon.
+        while rem - 1.0 > _EPSILON:
+            e = t + svc
+            if e >= horizon:
+                break
+            t = e
+            rem -= 1.0
+            n += 1
+        if n:
+            item.remaining = rem
+            busy = self.busy_time
+            if busy.is_integer() and svc.is_integer():
+                self.busy_time = busy + svc * n
+            else:
+                for _ in range(n):
+                    busy += svc
+                self.busy_time = busy
+            objs = self.objects_processed
+            if objs.is_integer():
+                self.objects_processed = objs + n
+            else:
+                for _ in range(n):
+                    objs += 1.0
+                self.objects_processed = objs
+            self.messages_sent += n
+            self.on_objects_batch(item.txn, n)
+        return item, t
+
+    def _preplay_rr(self, item: _WorkItem, t: float,
+                    horizon: float) -> Tuple[_WorkItem, float]:
+        """General pre-play: several residents and/or slowdown factors.
+
+        Replays the reference round-robin quantum by quantum (service
+        recomputed per quantum, per-object callback per quantum) but
+        without engine timeouts.  Stops at the first quantum that either
+        completes its item or reaches the horizon; that quantum is
+        returned for the caller to yield.
+        """
+        queue = self._queue
+        while True:
+            quantum = min(1.0, item.remaining)
+            service = self._service_time(quantum)
+            e = t + service
+            if e >= horizon or item.remaining - quantum <= _EPSILON:
+                return item, t
+            t = e
+            self.busy_time += service
+            self.objects_processed += quantum
+            self.messages_sent += 1
+            self.on_objects(item.txn, quantum)
+            item.remaining -= quantum
+            queue.append(item)
+            item = queue.popleft()
+            self._current = item

@@ -7,7 +7,8 @@ plus matching catalogs, so an experiment is fully described by
 ``(pattern factory, catalog factory, parameters)``.
 """
 
-from repro.workloads.patterns import (PatternWorkload, parse_pattern,
+from repro.workloads.patterns import (PatternWorkload, bulk_scan,
+                                      bulk_scan_catalog, parse_pattern,
                                       pattern1, pattern1_catalog, pattern2,
                                       pattern2_catalog, pattern3,
                                       pattern3_catalog)
@@ -20,6 +21,8 @@ __all__ = [
     "MixedWorkload",
     "PatternWorkload",
     "ReplayWorkload",
+    "bulk_scan",
+    "bulk_scan_catalog",
     "declare_with_error",
     "load_trace",
     "record_workload",

@@ -167,3 +167,36 @@ def pattern2_catalog(num_hots: int = 8, num_readonly: int = 8,
 
 
 pattern3_catalog = pattern2_catalog
+
+
+# -- Bulk scan (scale runs) ----------------------------------------------------
+
+
+def bulk_scan(num_partitions: int = 64, scan_objects: float = 512.0,
+              update_objects: float = 1.0) -> PatternWorkload:
+    """Scale-run workload: a full scan of one partition plus a small
+    trailing update, ``r(F:scan) -> w(F:update)``.
+
+    Each transaction spends hundreds of uninterrupted quanta on a single
+    data node — the regime the batched node loop coalesces.  At light
+    load (utilization well below ``1/num_nodes`` per node) almost every
+    scan runs alone between scheduler events, so batches approach the
+    full scan length.
+    """
+    if num_partitions < 1:
+        raise WorkloadError("bulk_scan needs at least one partition")
+    templates = [("r", "F", float(scan_objects)),
+                 ("w", "F", float(update_objects))]
+    pids = list(range(num_partitions))
+
+    def binder(streams: RandomStreams) -> Dict[str, int]:
+        return {"F": streams.choice("bulk-scan-partition", pids)}
+
+    return PatternWorkload("BulkScan", templates, binder)
+
+
+def bulk_scan_catalog(num_partitions: int = 64, scan_objects: float = 512.0,
+                      num_nodes: int = 64) -> Catalog:
+    """One scan-sized partition per node (pid mod num_nodes placement)."""
+    return Catalog.uniform(num_partitions, size_objects=float(scan_objects),
+                           num_nodes=num_nodes)

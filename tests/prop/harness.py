@@ -18,7 +18,7 @@ class InvariantCheckingScheduler:
     """
 
     CHECKED = ("admit", "request_lock", "commit", "object_processed",
-               "abort_transaction")
+               "object_processed_batch", "abort_transaction")
 
     def __init__(self, inner) -> None:
         self._inner = inner

@@ -149,3 +149,33 @@ class TestErrorModel:
         from repro.core import Step
         with pytest.raises(ValueError):
             declare_with_error([Step.read(0, 1)], RandomStreams(0), -0.1)
+
+
+class TestBulkScan:
+    def test_scan_plus_update_on_one_partition(self):
+        from repro.workloads import bulk_scan
+        spec = bulk_scan(num_partitions=64)(1, RandomStreams(3))
+        assert len(spec.steps) == 2
+        scan, update = spec.steps
+        assert scan.mode is LockMode.SHARED and scan.cost == 512.0
+        assert update.mode is LockMode.EXCLUSIVE and update.cost == 1.0
+        assert scan.partition == update.partition
+        assert 0 <= scan.partition < 64
+
+    def test_catalog_covers_all_nodes(self):
+        from repro.workloads import bulk_scan_catalog
+        catalog = bulk_scan_catalog(num_partitions=64, num_nodes=64)
+        assert len(catalog) == 64
+        assert {catalog.node_of(pid) for pid in range(64)} == set(range(64))
+        assert all(catalog.size_of(pid) == 512.0 for pid in range(64))
+
+    def test_draws_are_reproducible(self):
+        from repro.workloads import bulk_scan
+        wl = bulk_scan()
+        assert (wl(1, RandomStreams(9)).steps[0].partition
+                == wl(1, RandomStreams(9)).steps[0].partition)
+
+    def test_empty_rejected(self):
+        from repro.workloads import bulk_scan
+        with pytest.raises(WorkloadError):
+            bulk_scan(num_partitions=0)
