@@ -12,7 +12,7 @@ from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.lint.baseline import filter_new, load_baseline, write_baseline
-from repro.lint.engine import LintRunner, render_json, render_text
+from repro.lint.engine import lint_paths, render_json, render_text
 from repro.lint.model import all_rules
 from repro.lint.sarif import render_sarif
 
@@ -21,7 +21,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Project-specific static analysis for the WTPG core "
-                    "(rules RL001-RL008; see docs/lint.md).")
+                    "(rules RL001-RL012; see docs/lint.md).")
     parser.add_argument(
         "paths", nargs="*", default=["src"], metavar="PATH",
         help="files or directories to lint (default: src)")
@@ -40,9 +40,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--check-baseline", metavar="FILE", default=None,
         help="suppress violations recorded in FILE; only new ones fail")
     parser.add_argument(
+        "--select", metavar="RULES", default=None,
+        help="comma-separated rule ids to run (e.g. RL009,RL012); "
+             "default: every registered rule")
+    parser.add_argument(
+        "--ignore", metavar="RULES", default=None,
+        help="comma-separated rule ids to skip")
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="lint with N worker processes; output is identical to a "
+             "serial run regardless of scheduling (default: 1)")
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit")
     return parser
+
+
+def _parse_rule_list(raw: str, known: Sequence[str],
+                     flag: str) -> Optional[List[str]]:
+    """A comma-separated rule-id list, or None (with stderr) on junk."""
+    ids = [part.strip().upper() for part in raw.split(",") if part.strip()]
+    unknown = sorted(set(ids) - set(known))
+    if unknown:
+        print(f"repro-lint: {flag} names unknown rule"
+              f"{'s' if len(unknown) != 1 else ''}: {', '.join(unknown)} "
+              f"(known: {', '.join(known)})", file=sys.stderr)
+        return None
+    if not ids:
+        print(f"repro-lint: {flag} needs at least one rule id",
+              file=sys.stderr)
+        return None
+    return ids
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -53,6 +81,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for rule in rules:
             print(f"{rule.rule_id}  {rule.summary}")
         return 0
+
+    known = [rule.rule_id for rule in rules]
+    if args.select is not None:
+        selected = _parse_rule_list(args.select, known, "--select")
+        if selected is None:
+            return 2
+        rules = [rule for rule in rules if rule.rule_id in selected]
+    if args.ignore is not None:
+        ignored = _parse_rule_list(args.ignore, known, "--ignore")
+        if ignored is None:
+            return 2
+        rules = [rule for rule in rules if rule.rule_id not in ignored]
+    if args.jobs < 1:
+        print(f"repro-lint: --jobs must be >= 1 (got {args.jobs})",
+              file=sys.stderr)
+        return 2
 
     if args.sarif not in (None, "-") and Path(args.sarif).suffix not in (
             ".sarif", ".json"):
@@ -70,8 +114,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         paths.append(path)
 
-    runner = LintRunner(rules)
-    violations = runner.check_paths(paths)
+    violations, runner = lint_paths(paths, rules, jobs=args.jobs)
 
     if args.write_baseline is not None:
         write_baseline(Path(args.write_baseline), violations)

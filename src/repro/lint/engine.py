@@ -1,4 +1,20 @@
-"""File collection, rule dispatch and reporting for repro-lint."""
+"""File collection, rule dispatch and reporting for repro-lint.
+
+Since the interprocedural rules (RL009–RL012) arrived, a lint run has
+two phases: every file of the invocation is parsed first and assembled
+into one :class:`repro.lint.project.Project` (call graph + function
+summaries), then the rules run file by file — plain :class:`Rule`
+subclasses see only their :class:`FileContext`, while
+:class:`ProjectRule` subclasses also receive the project.  Single-file
+entry points (``check_source``) build a one-file project, so fixture
+tests exercise the interprocedural rules without touching disk.
+
+``--jobs N`` parallelism lives here too: each worker process parses the
+full entry set once (the project must be whole-program in every
+worker), then lints only the files assigned to it; results are stitched
+back together in entry order so output is deterministic regardless of
+scheduling.
+"""
 
 from __future__ import annotations
 
@@ -9,7 +25,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import repro.lint.flow_rules  # noqa: F401  (imported for rule registration)
 import repro.lint.rules  # noqa: F401  (imported for rule registration)
-from repro.lint.model import FileContext, Rule, Violation, all_rules
+from repro.lint.model import (FileContext, ProjectRule, Rule, Violation,
+                              all_rules)
+from repro.lint.project import Project
 from repro.lint.suppressions import apply_suppressions, parse_suppressions
 
 #: Rule id used for meta problems: unparseable files and malformed or
@@ -18,6 +36,9 @@ META_RULE = "RL000"
 
 #: Directories never linted even when nested under a requested path.
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
+
+#: One file handed to the engine: ``(display path, logical path, source)``.
+SourceEntry = Tuple[str, str, str]
 
 
 def logical_path_of(path: Path) -> str:
@@ -47,6 +68,26 @@ def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
     return list(seen)
 
 
+def read_entries(paths: Sequence[Path]) -> List[SourceEntry]:
+    """Collect ``(display, logical, source)`` entries for a path set."""
+    return [(str(path), logical_path_of(path),
+             path.read_text(encoding="utf-8"))
+            for path in iter_python_files(paths)]
+
+
+def _parse_entry(
+        entry: SourceEntry) -> Tuple[Optional[FileContext], List[Violation]]:
+    display, logical, source = entry
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return None, [Violation(META_RULE, display, exc.lineno or 1,
+                                (exc.offset or 1) - 1,
+                                f"file does not parse: {exc.msg}")]
+    return FileContext(display=display, logical=logical, source=source,
+                       tree=tree), []
+
+
 class LintRunner:
     """Run a set of rules over files, honouring suppression directives."""
 
@@ -57,24 +98,49 @@ class LintRunner:
     def check_source(self, source: str, display: str,
                      logical: str) -> List[Violation]:
         """Lint one in-memory source blob (the unit tests' entry point)."""
-        try:
-            tree = ast.parse(source, filename=display)
-        except SyntaxError as exc:
-            return [Violation(META_RULE, display, exc.lineno or 1,
-                              (exc.offset or 1) - 1,
-                              f"file does not parse: {exc.msg}")]
-        ctx = FileContext(display=display, logical=logical, source=source,
-                          tree=tree)
+        return self.check_sources([(display, logical, source)])
+
+    def check_sources(self, entries: Sequence[SourceEntry]) -> List[Violation]:
+        """Lint a batch of in-memory sources as one project.
+
+        Multi-entry calls are how the interprocedural fixtures model
+        cross-module facts: every parseable entry lands in the same
+        call graph, so a fixture impersonating ``repro/machine/x.py``
+        can call into one impersonating ``repro/core/y.py``.
+        """
+        contexts: List[Optional[FileContext]] = []
+        parse_failures: List[List[Violation]] = []
+        for entry in entries:
+            ctx, errors = _parse_entry(entry)
+            contexts.append(ctx)
+            parse_failures.append(errors)
+        project = Project([ctx for ctx in contexts if ctx is not None])
+        self.files_checked += len(entries)
+        violations: List[Violation] = []
+        for ctx, errors in zip(contexts, parse_failures):
+            if ctx is None:
+                violations.extend(errors)
+            else:
+                violations.extend(self.check_context(ctx, project))
+        return violations
+
+    def check_context(self, ctx: FileContext,
+                      project: Project) -> List[Violation]:
+        """Rules + suppressions for one already-parsed file."""
         violations: List[Violation] = []
         for rule in self.rules:
-            if rule.applies_to(ctx):
+            if not rule.applies_to(ctx):
+                continue
+            if isinstance(rule, ProjectRule):
+                violations.extend(rule.check_project(ctx, project))
+            else:
                 violations.extend(rule.check(ctx))
-        table = parse_suppressions(source)
+        table = parse_suppressions(ctx.source)
         violations, _used = apply_suppressions(violations, table)
         for directive in table.values():
             if not directive.justified:
                 violations.append(Violation(
-                    META_RULE, display, directive.line, 0,
+                    META_RULE, ctx.display, directive.line, 0,
                     "suppression without a justification: write "
                     "'# repro-lint: disable=RLxxx -- <why the contract "
                     "does not apply here>'"))
@@ -84,23 +150,71 @@ class LintRunner:
     def check_file(self, path: Path,
                    logical: Optional[str] = None) -> List[Violation]:
         source = path.read_text(encoding="utf-8")
-        self.files_checked += 1
-        return self.check_source(source, display=str(path),
-                                 logical=logical or logical_path_of(path))
+        return self.check_sources([
+            (str(path), logical or logical_path_of(path), source)])
 
     def check_paths(self, paths: Sequence[Path]) -> List[Violation]:
-        violations: List[Violation] = []
-        for path in iter_python_files(paths):
-            violations.extend(self.check_file(path))
-        return violations
+        return self.check_sources(read_entries(paths))
+
+
+# ---------------------------------------------------------------------------
+# Parallel mode
+# ---------------------------------------------------------------------------
+#
+# Workers are handed the full entry list once (at pool start) and build
+# their own project from it — the call graph is whole-program, so there
+# is no per-file shortcut.  Tasks are entry *indices*; ``Pool.map``
+# returns chunks in index order, which makes the concatenated output
+# identical to the serial run.
+
+_WORKER: Optional[Tuple[LintRunner, List[Optional[FileContext]],
+                        List[List[Violation]], Project]] = None
+
+
+def _worker_init(entries: Sequence[SourceEntry],
+                 rule_ids: Optional[Sequence[str]]) -> None:
+    global _WORKER
+    rules = [rule for rule in all_rules()
+             if rule_ids is None or rule.rule_id in rule_ids]
+    runner = LintRunner(rules)
+    contexts: List[Optional[FileContext]] = []
+    parse_failures: List[List[Violation]] = []
+    for entry in entries:
+        ctx, errors = _parse_entry(entry)
+        contexts.append(ctx)
+        parse_failures.append(errors)
+    project = Project([ctx for ctx in contexts if ctx is not None])
+    _WORKER = (runner, contexts, parse_failures, project)
+
+
+def _worker_check(index: int) -> List[Violation]:
+    assert _WORKER is not None, "worker used before initialisation"
+    runner, contexts, parse_failures, project = _WORKER
+    ctx = contexts[index]
+    if ctx is None:
+        return parse_failures[index]
+    return runner.check_context(ctx, project)
 
 
 def lint_paths(paths: Sequence[Path],
                rules: Optional[Sequence[Rule]] = None,
+               jobs: int = 1,
                ) -> Tuple[List[Violation], LintRunner]:
     """Convenience wrapper: lint paths, return (violations, runner)."""
     runner = LintRunner(rules)
-    return runner.check_paths(paths), runner
+    entries = read_entries(paths)
+    if jobs <= 1 or len(entries) < 2:
+        return runner.check_sources(entries), runner
+    import multiprocessing
+
+    rule_ids = [rule.rule_id for rule in runner.rules]
+    with multiprocessing.Pool(
+            processes=min(jobs, len(entries)),
+            initializer=_worker_init,
+            initargs=(entries, rule_ids)) as pool:
+        chunks = pool.map(_worker_check, range(len(entries)))
+    runner.files_checked += len(entries)
+    return [violation for chunk in chunks for violation in chunk], runner
 
 
 def render_text(violations: Sequence[Violation], files_checked: int) -> str:

@@ -1,26 +1,35 @@
-"""The flow-sensitive rules RL006–RL008, built on cfg + dataflow.
+"""The flow-sensitive rules RL006–RL012, built on cfg + dataflow.
 
 Where RL001–RL005 are single-pass AST matchers, these rules state *path*
 properties: every rule builds the CFG of each function in scope
 (:func:`repro.lint.cfg.build_cfg`), runs a forward may-analysis to a
 fixpoint (:func:`repro.lint.dataflow.solve_forward`) and reports on what
-survives to an exit.  ``docs/lint.md`` has the full catalogue entry,
-threat model and known over/under-approximations of each rule.
+survives to an exit.  RL006–RL008 are intraprocedural; RL009–RL012 are
+:class:`~repro.lint.model.ProjectRule` subclasses consuming the
+whole-program call graph and function summaries through the
+:class:`~repro.lint.project.Project` the engine hands them.
+``docs/lint.md`` has the full catalogue entry, threat model and known
+over/under-approximations of each rule.
 """
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import (Dict, FrozenSet, Iterator, List, Optional, Sequence,
                     Set, Tuple)
 
-from repro.lint.cfg import CFGNode, FunctionNode, build_cfg, header_exprs
+from repro.lint.callgraph import FunctionDecl, FunctionId
+from repro.lint.cfg import CFG, CFGNode, FunctionNode, build_cfg, header_exprs
 from repro.lint.dataflow import (ResourceFact, ResourceSpec, UnionLattice,
                                  method_name_of, resource_gen_kill,
                                  resource_transfer, solve_forward)
-from repro.lint.model import FileContext, Rule, Violation, register_rule
-from repro.lint.rules import _is_bump, _statement_mutations
+from repro.lint.model import (FileContext, ProjectRule, Rule, Violation,
+                              register_rule)
+from repro.lint.project import Project
+from repro.lint.rules import WATCHED_ATTRS, _is_bump, _statement_mutations
+from repro.lint.summaries import (SummaryTable, bind_args, stmt_has_yield,
+                                  watched_mutations)
 
 _LATTICE = UnionLattice()
 
@@ -548,3 +557,553 @@ class StreamEscapeRule(Rule):
                     f"RNG stream stored in container {root.attr!r}: use a "
                     "name containing 'stream' so the determinism contract "
                     "stays auditable")
+
+
+# ---------------------------------------------------------------------------
+# RL009–RL012 — interprocedural yield-point atomicity rules
+# ---------------------------------------------------------------------------
+#
+# Every ``yield`` in the machine layer is a context switch of the
+# discrete-event engine: the scheduler, the WTPG and every other node
+# may run before the function resumes.  These rules consume the project
+# call graph + summaries, so "a yield two calls deep" counts.  Calls the
+# resolver cannot prove anything about are soundly silent — docs/lint.md
+# records that limit.
+
+
+def _node_is_yield_point(table: SummaryTable, fid: FunctionId,
+                         stmt: ast.AST) -> bool:
+    """A syntactic yield, or a resolved call into a may-yield function."""
+    if stmt_has_yield(stmt):
+        return True
+    return any(table.call_may_yield(site)
+               for site in table.node_calls(fid, stmt))
+
+
+def _function_has_yield_point(table: SummaryTable,
+                              decl: FunctionDecl) -> bool:
+    if decl.has_yield:
+        return True
+    return any(table.call_may_yield(site)
+               for site in table.graph.call_sites(decl.fid))
+
+
+#: Attributes whose value is *shared mutable simulation state*: the
+#: scheduler/WTPG handles and the cross-coroutine node fields.  A local
+#: bound from one of these is a snapshot that a context switch can
+#: invalidate.  Deliberately absent: immutable plumbing (``env``,
+#: ``params``, ``history``) and one-shot event handles (``_wakeup``).
+RL009_SHARED_ATTRS: FrozenSet[str] = frozenset({
+    "scheduler", "wtpg", "active_transactions", "_running", "_doomed",
+    "_grants", "_queue", "_current", "crashed", "busy_time",
+    "objects_processed", "messages_sent", "_slow_factors",
+}) | WATCHED_ATTRS
+
+#: Reading one of these re-validates snapshots: the code is comparing or
+#: re-syncing a generation counter, which is the sanctioned alternative
+#: to a full re-read.
+RL009_GUARD_ATTRS: FrozenSet[str] = frozenset({
+    "generation", "_generation", "_structure_gen", "_closure_gen",
+    "_cp_gen",
+})
+
+#: Calling one of these is likewise a freshness re-check.
+RL009_GUARD_CALLS: FrozenSet[str] = frozenset({"stale"})
+
+
+@dataclass(frozen=True)
+class _SnapFact:
+    """One local holding a snapshot of shared state: where it was bound,
+    which shared attribute it came from, and whether a yield point has
+    intervened since."""
+
+    name: str
+    line: int
+    col: int
+    attr: str
+    stale: bool
+
+
+def _shared_attrs_in(expr: ast.AST) -> List[str]:
+    found: List[str] = []
+    for node in ast.walk(expr):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and node.attr in RL009_SHARED_ATTRS):
+            found.append(node.attr)
+    return found
+
+
+def _target_names(target: ast.AST) -> List[str]:
+    return [node.id for node in ast.walk(target)
+            if isinstance(node, ast.Name)
+            and isinstance(node.ctx, ast.Store)]
+
+
+def _stmt_binds(stmt: ast.AST) -> List[Tuple[str, ast.AST]]:
+    """``(local name, value expression)`` pairs this CFG node binds."""
+    out: List[Tuple[str, ast.AST]] = []
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            out.extend((name, stmt.value)
+                       for name in _target_names(target))
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        out.extend((name, stmt.value)
+                   for name in _target_names(stmt.target))
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        out.extend((name, stmt.iter)
+                   for name in _target_names(stmt.target))
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                out.extend((name, item.context_expr)
+                           for name in _target_names(item.optional_vars))
+    # Walrus bindings live inside any header expression.
+    for root in header_exprs(stmt):
+        for node in ast.walk(root):
+            if (isinstance(node, ast.NamedExpr)
+                    and isinstance(node.target, ast.Name)):
+                out.append((node.target.id, node.value))
+    return out
+
+
+def _stmt_recertifies(stmt: ast.AST) -> bool:
+    """Does this node perform a generation re-check (guard event)?"""
+    for root in header_exprs(stmt):
+        for node in ast.walk(root):
+            if (isinstance(node, ast.Attribute)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.attr in RL009_GUARD_ATTRS):
+                return True
+            if isinstance(node, ast.Call):
+                name = method_name_of(node)
+                if name is None and isinstance(node.func, ast.Name):
+                    name = node.func.id
+                if name in RL009_GUARD_CALLS:
+                    return True
+    return False
+
+
+@register_rule
+class StaleSnapshotRule(ProjectRule):
+    """RL009: a shared-state snapshot must not be read across a yield.
+
+    In ``machine/``, a local bound from scheduler/WTPG/node shared state
+    (:data:`RL009_SHARED_ATTRS`) and read after a yield point — a
+    syntactic ``yield``/``yield from`` or a resolved call into a
+    may-yield function — is acting on a pre-switch snapshot: any other
+    coroutine may have run in between.  The fix is to re-read the state,
+    re-check a generation guard (:data:`RL009_GUARD_ATTRS`,
+    :data:`RL009_GUARD_CALLS`), or rebind the local after the yield.
+    One finding per snapshot (its textually first stale read), so a
+    deliberate hold-across-yield needs exactly one justified
+    suppression.  Calls into generator functions are treated as yield
+    points even when the generator is only instantiated — conservative,
+    but in this codebase generators are invoked via ``yield from`` or
+    handed straight to ``env.process``.
+    """
+
+    rule_id = "RL009"
+    summary = ("machine-layer locals snapshotting shared state must be "
+               "re-read or generation-checked after a yield point")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_dir("machine")
+
+    def check_project(self, ctx: FileContext,
+                      project: Project) -> Iterator[Violation]:
+        table = project.summaries
+        for decl in project.functions_of(ctx.logical):
+            if not _function_has_yield_point(table, decl):
+                continue
+            cfg = table.cfg(decl.fid)
+            if cfg is not None:
+                yield from self._check_function(ctx, decl, cfg, table)
+
+    def _check_function(self, ctx: FileContext, decl: FunctionDecl,
+                        cfg: CFG, table: SummaryTable,
+                        ) -> Iterator[Violation]:
+        fid = decl.fid
+
+        def transfer(node: CFGNode,
+                     facts: FrozenSet[object]) -> FrozenSet[object]:
+            stmt = node.stmt
+            if stmt is None or not isinstance(stmt, ast.stmt):
+                return facts
+            if _stmt_recertifies(stmt):
+                facts = frozenset(replace(fact, stale=False)
+                                  for fact in facts
+                                  if isinstance(fact, _SnapFact))
+            if _node_is_yield_point(table, fid, stmt):
+                facts = frozenset(replace(fact, stale=True)
+                                  for fact in facts
+                                  if isinstance(fact, _SnapFact))
+            binds = _stmt_binds(stmt)
+            if binds:
+                killed = {name for name, _ in binds}
+                facts = frozenset(fact for fact in facts
+                                  if isinstance(fact, _SnapFact)
+                                  and fact.name not in killed)
+                gens: Set[object] = set()
+                for name, value in binds:
+                    attrs = _shared_attrs_in(value)
+                    if attrs:
+                        gens.add(_SnapFact(name, stmt.lineno,
+                                           stmt.col_offset,
+                                           sorted(attrs)[0], False))
+                facts = facts | frozenset(gens)
+            return facts
+
+        result = solve_forward(cfg, _LATTICE, transfer, frozenset())
+        # One finding per snapshot: its textually first stale read.
+        first_read: Dict[Tuple[str, int, int],
+                         Tuple[int, int, _SnapFact]] = {}
+        for node in cfg.stmt_nodes():
+            stmt = node.stmt
+            if stmt is None or not isinstance(stmt, ast.stmt):
+                continue
+            facts = result.entering(node)
+            if _stmt_recertifies(stmt):
+                continue  # guards run before reads within one statement
+            stale = {fact.name: fact for fact in facts
+                     if isinstance(fact, _SnapFact) and fact.stale}
+            if not stale:
+                continue
+            for root in header_exprs(stmt):
+                for sub in ast.walk(root):
+                    if (not isinstance(sub, ast.Name)
+                            or not isinstance(sub.ctx, ast.Load)
+                            or sub.id not in stale):
+                        continue
+                    fact = stale[sub.id]
+                    key = (fact.name, fact.line, fact.col)
+                    site = (sub.lineno, sub.col_offset, fact)
+                    if key not in first_read or site < first_read[key]:
+                        first_read[key] = site
+        for line, col, fact in sorted(first_read.values()):
+            yield Violation(
+                self.rule_id, ctx.display, line, col,
+                f"local {fact.name!r} in {decl.name} snapshots shared "
+                f"state ({fact.attr}, bound at line {fact.line}) and is "
+                "read here after a yield point: a context switch may "
+                "have invalidated it — re-read the state or re-check a "
+                "generation guard before acting on it")
+
+
+@register_rule
+class UnbumpedAcrossYieldRule(ProjectRule):
+    """RL010: watched-state mutation must be bump-closed before a yield.
+
+    The interprocedural lift of RL002/invariant 7: in ``core/`` and
+    ``machine/``, a function containing yield points must not let a
+    mutation of the watched graph containers
+    (:data:`~repro.lint.rules.WATCHED_ATTRS`) — performed directly or
+    through a call whose summary says *may-leave-unbumped* — reach a
+    yield point before a generation bump.  At the switch, every other
+    coroutine sees generation counters that still vouch for the
+    pre-mutation structure.  Reported at the mutation (or call) site;
+    calls to *must-bump* callees close the window like a direct bump.
+    """
+
+    rule_id = "RL010"
+    summary = ("watched-container mutations (direct or via calls) must "
+               "be generation-bumped before the next yield point")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_dir("core") or ctx.in_dir("machine")
+
+    def check_project(self, ctx: FileContext,
+                      project: Project) -> Iterator[Violation]:
+        table = project.summaries
+        for decl in project.functions_of(ctx.logical):
+            if not _function_has_yield_point(table, decl):
+                continue
+            cfg = table.cfg(decl.fid)
+            if cfg is not None:
+                yield from self._check_function(ctx, decl, cfg, table)
+
+    def _check_function(self, ctx: FileContext, decl: FunctionDecl,
+                        cfg: CFG, table: SummaryTable,
+                        ) -> Iterator[Violation]:
+        fid = decl.fid
+
+        def open_mutations(stmt: ast.AST) -> List[Tuple[int, int, str]]:
+            gens = list(watched_mutations(stmt))
+            for site in table.node_calls(fid, stmt):
+                if (site.callee is not None
+                        and table.summary(site.callee).may_leave_unbumped):
+                    gens.append((site.line, site.col,
+                                 f"{site.callee[1]}()"))
+            return gens
+
+        def transfer(node: CFGNode,
+                     facts: FrozenSet[object]) -> FrozenSet[object]:
+            stmt = node.stmt
+            if stmt is None or not isinstance(stmt, ast.stmt):
+                return facts
+            if table.bumps_here(fid, stmt):
+                facts = frozenset()
+            gens = open_mutations(stmt)
+            return facts | frozenset(gens) if gens else facts
+
+        result = solve_forward(cfg, _LATTICE, transfer, frozenset())
+        reported: Set[Tuple[int, int, str]] = set()
+        for node in cfg.stmt_nodes():
+            stmt = node.stmt
+            if stmt is None or not isinstance(stmt, ast.stmt):
+                continue
+            if not _node_is_yield_point(table, fid, stmt):
+                continue
+            facts = result.entering(node)
+            if table.bumps_here(fid, stmt):
+                continue  # bump-and-yield in one statement: closed
+            for fact in sorted(fact for fact in facts
+                               if isinstance(fact, tuple)):
+                line, col, what = fact
+                if (line, col, what) in reported:
+                    continue
+                reported.add((line, col, what))
+                yield Violation(
+                    self.rule_id, ctx.display, line, col,
+                    f"mutation of watched state ({what}) in {decl.name} "
+                    f"reaches the yield point at line {stmt.lineno} "
+                    "without a generation bump: other coroutines resume "
+                    "against counters that still vouch for the old "
+                    "structure — bump (or call an invalidation helper) "
+                    "before yielding")
+
+
+@register_rule
+class InterprocStreamEscapeRule(ProjectRule):
+    """RL011: RNG-stream escape tracked across call boundaries.
+
+    The interprocedural supersession of RL008 (which remains the
+    intraprocedural fallback): using the function summaries, a call into
+    a *returns-stream* function taints its result, and a tainted value
+    handed to a parameter the callee's summary marks as *escaping*
+    (stored into a non-stream attribute, global, or passed on to another
+    escaping parameter) is reported at the call site.  To avoid
+    double-reporting, sinks RL008 already sees — stores and returns of
+    locally produced streams — are flagged here only when the taint
+    arrived through a call; argument-escape findings are new and
+    reported for every provenance.
+    """
+
+    rule_id = "RL011"
+    summary = ("streams obtained or forwarded through calls must not "
+               "escape to non-stream attributes, globals or public "
+               "returns")
+
+    _INTRA = "<intra>"
+    _INTER = "<inter>"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.in_dir("engine") and not ctx.in_dir("faults")
+
+    def check_project(self, ctx: FileContext,
+                      project: Project) -> Iterator[Violation]:
+        yield from self._check_module_scope(ctx, project)
+        table = project.summaries
+        for decl in project.functions_of(ctx.logical):
+            cfg = table.cfg(decl.fid)
+            if cfg is not None:
+                yield from self._check_function(ctx, decl, cfg, table)
+
+    def _check_module_scope(self, ctx: FileContext,
+                            project: Project) -> Iterator[Violation]:
+        for stmt in ctx.tree.body:
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = stmt.value
+            if (isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)):
+                callee = project.callgraph.resolve_bare_name(
+                    ctx.logical, value.func.id)
+                if (callee is not None
+                        and project.summary(callee).returns_stream):
+                    yield self.violation(
+                        ctx, stmt,
+                        f"module-scope binding of a stream returned by "
+                        f"{callee[1]}: streams are per-run state owned "
+                        "by RandomStreams — create them inside the "
+                        "consuming function")
+
+    def _check_function(self, ctx: FileContext, decl: FunctionDecl,
+                        cfg: CFG, table: SummaryTable,
+                        ) -> Iterator[Violation]:
+        fid = decl.fid
+        global_names: Set[str] = set()
+        for stmt in decl.node.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Global):
+                    global_names.update(node.names)
+
+        def local_marks(name: str,
+                        facts: FrozenSet[object]) -> Set[str]:
+            return {fact[1] for fact in facts
+                    if isinstance(fact, tuple) and fact[0] == name}
+
+        def value_marks(expr: Optional[ast.AST],
+                        facts: FrozenSet[object]) -> Set[str]:
+            if expr is None:
+                return set()
+            if _is_stream_call(expr):
+                return {self._INTRA}
+            if isinstance(expr, ast.Name):
+                return local_marks(expr.id, facts)
+            if isinstance(expr, ast.Call):
+                for site in table.node_calls(fid, expr):
+                    if (site.call is expr and site.callee is not None
+                            and table.summary(site.callee).returns_stream):
+                        return {self._INTER}
+            return set()
+
+        def transfer(node: CFGNode,
+                     facts: FrozenSet[object]) -> FrozenSet[object]:
+            stmt = node.stmt
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                return facts
+            marks = value_marks(stmt.value, facts)
+            targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                       else [stmt.target])
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    facts = frozenset(
+                        fact for fact in facts
+                        if not (isinstance(fact, tuple)
+                                and fact[0] == target.id))
+                    facts = facts | frozenset(
+                        (target.id, mark) for mark in marks)
+            return facts
+
+        entry = frozenset((name, self._INTRA)
+                          for name in _tainted_param_names(decl.node))
+        result = solve_forward(cfg, _LATTICE, transfer, entry)
+        public = not decl.name.startswith("_")
+        for node in cfg.stmt_nodes():
+            stmt = node.stmt
+            if stmt is None or not isinstance(stmt, ast.stmt):
+                continue
+            facts = result.entering(node)
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                marks = value_marks(stmt.value, facts)
+                if self._INTER in marks:
+                    targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                               else [stmt.target])
+                    for target in targets:
+                        yield from self._check_binding(ctx, decl, target,
+                                                       global_names)
+            elif isinstance(stmt, ast.Return) and public:
+                if self._INTER in value_marks(stmt.value, facts):
+                    yield self.violation(
+                        ctx, stmt,
+                        f"public function {decl.name} returns a stream "
+                        "obtained through a call: streams escape the "
+                        "named-stream discipline through public APIs — "
+                        "draw values here or make the helper private")
+            # Tainted argument to a callee with escaping parameters —
+            # new ground RL008 cannot see, reported for any provenance.
+            for site in table.node_calls(fid, stmt):
+                if site.callee is None:
+                    continue
+                callee_summary = table.summary(site.callee)
+                if not callee_summary.escaping_params:
+                    continue
+                callee_decl = table.graph.declaration(site.callee)
+                if callee_decl is None:
+                    continue
+                for param, arg in bind_args(callee_decl, site.call):
+                    if param not in callee_summary.escaping_params:
+                        continue
+                    if value_marks(arg, facts):
+                        yield Violation(
+                            self.rule_id, ctx.display, site.line,
+                            site.col,
+                            f"RNG stream passed to parameter {param!r} "
+                            f"of {site.callee[1]}, which lets it escape "
+                            "(non-stream attribute store or onward "
+                            "hand-off): pass drawn values instead, or "
+                            "store the stream under a 'stream' name")
+
+    def _check_binding(self, ctx: FileContext, decl: FunctionDecl,
+                       target: ast.AST,
+                       global_names: Set[str]) -> Iterator[Violation]:
+        if isinstance(target, ast.Name) and target.id in global_names:
+            yield self.violation(
+                ctx, target,
+                f"stream obtained through a call assigned to global "
+                f"{target.id!r}: module-scope streams are invisible to "
+                "the replay machinery — keep them local")
+        elif isinstance(target, ast.Attribute):
+            if _STREAMY not in target.attr.lower():
+                yield self.violation(
+                    ctx, target,
+                    f"stream obtained through a call stored in attribute "
+                    f"{target.attr!r}: use a name containing 'stream' so "
+                    "the determinism contract stays auditable, or draw "
+                    "values instead of caching the stream")
+        elif isinstance(target, ast.Subscript):
+            root = target.value
+            while isinstance(root, ast.Subscript):
+                root = root.value
+            if (isinstance(root, ast.Attribute)
+                    and _STREAMY not in root.attr.lower()):
+                yield self.violation(
+                    ctx, target,
+                    f"stream obtained through a call stored in container "
+                    f"{root.attr!r}: use a name containing 'stream' so "
+                    "the determinism contract stays auditable")
+
+
+@register_rule
+class SynchronousSchedulerRule(ProjectRule):
+    """RL012: scheduler code never reaches a cooperative suspension.
+
+    Every scheduler entry point (``admit``, ``request_lock``,
+    ``abort_transaction``, …) runs inside one atomic step of the control
+    node's event loop — the paper's admission protocol assumes the WTPG
+    test-and-insert is indivisible.  Today ``core/schedulers/`` contains
+    zero yields by convention; this rule makes it a contract: no
+    function there may contain a ``yield`` or call (transitively,
+    through the resolved call graph) a may-yield function.  Calls the
+    resolver must treat as unknown are silent — the rule's teeth come
+    from the project graph, not from guessing.
+    """
+
+    rule_id = "RL012"
+    summary = ("core/schedulers/ must stay synchronous: no yield and no "
+               "resolved call path into a may-yield function")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_dir("core/schedulers")
+
+    def check_project(self, ctx: FileContext,
+                      project: Project) -> Iterator[Violation]:
+        table = project.summaries
+        for decl in project.functions_of(ctx.logical):
+            if decl.has_yield:
+                node = self._first_yield(decl)
+                yield Violation(
+                    self.rule_id, ctx.display,
+                    getattr(node, "lineno", decl.node.lineno),
+                    getattr(node, "col_offset", decl.node.col_offset),
+                    f"scheduler function {decl.name} contains a yield: "
+                    "schedulers run inside one atomic step of the "
+                    "control node — suspension here breaks admission "
+                    "atomicity; hoist the wait into the machine layer")
+            for site in project.callgraph.call_sites(decl.fid):
+                if (site.callee is not None
+                        and table.summary(site.callee).may_yield):
+                    yield Violation(
+                        self.rule_id, ctx.display, site.line, site.col,
+                        f"call from scheduler function {decl.name} "
+                        f"reaches may-yield {site.callee[1]}: schedulers "
+                        "must stay synchronous — move the cooperative "
+                        "wait out of core/schedulers/")
+
+    @staticmethod
+    def _first_yield(decl: FunctionDecl) -> ast.AST:
+        for node in ast.walk(decl.node):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return node
+        return decl.node

@@ -11,7 +11,10 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Type
+from typing import TYPE_CHECKING, Dict, Iterator, List, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.lint.project import Project
 
 #: Attribute stashed on every AST node pointing at its parent node, so
 #: rules can look outward (e.g. "is this comprehension fed to sorted()?").
@@ -93,6 +96,25 @@ class Rule:
         return Violation(self.rule_id, ctx.display,
                          getattr(node, "lineno", 1),
                          getattr(node, "col_offset", 0), message)
+
+
+class ProjectRule(Rule):
+    """A rule that needs whole-program context.
+
+    The engine parses every file of the run first, builds one
+    :class:`repro.lint.project.Project` (call graph + function
+    summaries), and calls :meth:`check_project` once per file with it.
+    Single-file entry points get a one-file project, so fixtures work
+    unchanged.  ``check`` exists only to satisfy the base API.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        empty: List[Violation] = []
+        return iter(empty)
+
+    def check_project(self, ctx: FileContext,
+                      project: "Project") -> Iterator[Violation]:
+        raise NotImplementedError
 
 
 _REGISTRY: List[Type[Rule]] = []

@@ -10,7 +10,7 @@ from __future__ import annotations
 import ast
 import re
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from repro.lint.cfg import CFGNode, build_cfg
 from repro.lint.dataflow import UnionLattice, solve_forward
@@ -309,7 +309,7 @@ class CacheCoherenceRule(Rule):
                                frozenset())
         # Return statements inside a finally body are duplicated across
         # the CFG's continuation copies; dedup on (return site, fact).
-        reported: set = set()
+        reported: Set[Tuple[int, int, _MutFact]] = set()
         for node in cfg.stmt_nodes():
             if not isinstance(node.stmt, ast.Return):
                 continue

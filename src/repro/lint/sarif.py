@@ -42,9 +42,9 @@ def render_sarif(violations: Sequence[Violation], rules: Sequence[Rule],
     rule_index: Dict[str, int] = {rule.rule_id: i
                                   for i, rule in enumerate(rules)}
     fingerprints = fingerprints_for(violations)
-    results: List[dict] = []
+    results: List[Dict[str, object]] = []
     for violation, fingerprint in zip(violations, fingerprints):
-        result = {
+        result: Dict[str, object] = {
             "ruleId": violation.rule_id,
             "level": "error",
             "message": {"text": violation.message},

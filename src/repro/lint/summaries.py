@@ -1,0 +1,524 @@
+"""Bottom-up function summaries over the project call graph.
+
+Each function gets a :class:`FunctionSummary` of the facts the
+interprocedural rules consume:
+
+``may_yield``
+    The body contains a ``yield``/``yield from``, or calls (through the
+    resolved call graph) a function that may yield.  This is what makes
+    a call a *context switch* for RL009/RL010 and what RL012 forbids
+    reaching from ``core/schedulers/``.
+
+``mutates_watched``
+    The watched graph-defining containers of RL002
+    (:data:`repro.lint.rules.WATCHED_ATTRS`) this function may mutate,
+    directly or through a callee.
+
+``may_leave_unbumped``
+    Some path through the function performs a watched mutation and
+    reaches a ``return``/the exit without a generation bump — the
+    interprocedural lift of RL002's per-method fact, used by RL010 to
+    treat such a *call* as an open mutation at the call site.
+
+``must_bump``
+    Every path from entry to the normal exit passes a generation bump
+    (a direct bump statement, an invalidation helper, or a call to a
+    ``must_bump`` callee) — the kill event of RL010's analysis.
+
+``returns_stream`` / ``escaping_params``
+    The RNG-taint lift of RL008: whether the function may return a
+    live ``RandomStreams`` stream, and which of its parameters — if
+    bound to a stream by the caller — end up stored in a non-stream
+    attribute/global or handed on to another escaping parameter.
+    RL011 turns these into call-site findings.
+
+All summaries are computed as one whole-program fixpoint: per-function
+facts are (re)derived from a CFG dataflow pass parameterised by the
+current callee summaries, and the pass repeats until nothing changes.
+Every component is monotone (booleans only flip ``False -> True``,
+sets only grow), so mutual recursion converges; a hard round cap turns
+an accidental non-monotone edit into a loud :class:`FixpointError`.
+Unresolved calls contribute nothing — the summaries describe only what
+the resolved project graph can prove, and the rules document that
+limit.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.lint.callgraph import (CallGraph, CallSite, FunctionDecl,
+                                  FunctionId)
+from repro.lint.cfg import CFG, CFGNode, build_cfg, header_exprs
+from repro.lint.dataflow import FixpointError, UnionLattice, solve_forward
+from repro.lint.rules import BUMP_ATTRS, INVALIDATION_HELPERS, WATCHED_ATTRS
+
+_LATTICE = UnionLattice()
+
+#: Parameter names that arrive already carrying RNG-stream taint.
+_STREAM_TOKEN = "stream"
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """The interprocedural facts of one function (see module docstring)."""
+
+    may_yield: bool = False
+    mutates_watched: FrozenSet[str] = frozenset()
+    may_leave_unbumped: bool = False
+    must_bump: bool = False
+    returns_stream: bool = False
+    escaping_params: FrozenSet[str] = frozenset()
+
+
+def _stream_param_names(fn: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    args = getattr(fn, "args", None)
+    if args is None:
+        return names
+    for arg in (list(args.posonlyargs) + list(args.args)
+                + list(args.kwonlyargs)):
+        lowered = arg.arg.lower()
+        if lowered == _STREAM_TOKEN or lowered.endswith("_" + _STREAM_TOKEN):
+            names.add(arg.arg)
+    return names
+
+
+def _param_names(fn: ast.AST) -> List[str]:
+    args = getattr(fn, "args", None)
+    if args is None:
+        return []
+    return [arg.arg for arg in (list(args.posonlyargs) + list(args.args)
+                                + list(args.kwonlyargs))]
+
+
+# ---------------------------------------------------------------------------
+# Watched-state mutations and generation bumps, receiver-generalised
+# ---------------------------------------------------------------------------
+#
+# RL002's helpers only recognise ``self.X`` roots (they police the WTPG
+# class itself).  The interprocedural rules watch the same containers
+# through *any* receiver — ``wtpg._pairs[k] = v`` in a machine-layer
+# helper is the same incoherence hazard.
+
+_MUTATOR_METHODS = frozenset({
+    "add", "discard", "remove", "pop", "popitem", "clear", "update",
+    "setdefault", "append", "extend", "insert",
+})
+
+
+def _watched_attr_of(node: ast.AST) -> Optional[str]:
+    """The watched attr a target chain is rooted at, any receiver."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute) and node.attr in WATCHED_ATTRS:
+        return node.attr
+    return None
+
+
+def watched_mutations(stmt: ast.AST) -> List[Tuple[int, int, str]]:
+    """``(line, col, attr)`` of watched-container mutations in one node."""
+    found: List[Tuple[int, int, str]] = []
+    for root in header_exprs(stmt):
+        for node in ast.walk(root):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    attr = _watched_attr_of(target)
+                    if attr is not None:
+                        found.append((node.lineno, node.col_offset, attr))
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    attr = _watched_attr_of(target)
+                    if attr is not None:
+                        found.append((node.lineno, node.col_offset, attr))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in _MUTATOR_METHODS):
+                    attr = _watched_attr_of(func.value)
+                    if attr is not None:
+                        found.append((node.lineno, node.col_offset, attr))
+    return found
+
+
+def is_bump_stmt(stmt: ast.AST) -> bool:
+    """A generation bump through any receiver, incl. invalidation helpers."""
+    for root in header_exprs(stmt):
+        for node in ast.walk(root):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if (isinstance(target, ast.Attribute)
+                            and target.attr in BUMP_ATTRS):
+                        return True
+            elif isinstance(node, ast.Call):
+                func = node.func
+                name = (func.attr if isinstance(func, ast.Attribute)
+                        else func.id if isinstance(func, ast.Name) else "")
+                if name in INVALIDATION_HELPERS:
+                    return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Yield points
+# ---------------------------------------------------------------------------
+
+def stmt_has_yield(stmt: ast.AST) -> bool:
+    """Does this CFG node's own header contain a yield expression?"""
+    stack: List[ast.AST] = list(header_exprs(stmt))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue  # a nested def's yields are not this node's
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _is_stream_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    if isinstance(node.func, ast.Attribute) and node.func.attr == "stream":
+        return True
+    func_name = (node.func.id if isinstance(node.func, ast.Name)
+                 else node.func.attr if isinstance(node.func, ast.Attribute)
+                 else "")
+    return func_name == "RandomStreams"
+
+
+# ---------------------------------------------------------------------------
+# The whole-program fixpoint
+# ---------------------------------------------------------------------------
+
+class SummaryTable:
+    """Summaries for every function of a call graph, plus shared CFGs."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        self.summaries: Dict[FunctionId, FunctionSummary] = {}
+        #: CFGs are rebuilt nowhere else — the rules reuse these.
+        self._cfgs: Dict[FunctionId, CFG] = {}
+        self._site_index: Dict[FunctionId, Dict[int, CallSite]] = {}
+        self._compute()
+
+    def summary(self, fid: FunctionId) -> FunctionSummary:
+        return self.summaries.get(fid, FunctionSummary())
+
+    def cfg(self, fid: FunctionId) -> Optional[CFG]:
+        return self._cfgs.get(fid)
+
+    def call_may_yield(self, site: CallSite) -> bool:
+        """Does this (resolved) call target a may-yield function?"""
+        if site.callee is None:
+            return False
+        return self.summary(site.callee).may_yield
+
+    # -- computation -------------------------------------------------------
+
+    def _compute(self) -> None:
+        graph = self.graph
+        for fid, decl in graph.functions.items():
+            self._cfgs[fid] = build_cfg(decl.node)
+            self.summaries[fid] = FunctionSummary(
+                may_yield=decl.has_yield)
+        # Reverse edges: when a callee's summary changes, only its
+        # callers can change in response.
+        callers: Dict[FunctionId, Set[FunctionId]] = {}
+        for fid in graph.functions:
+            for callee in graph.callees(fid):
+                callers.setdefault(callee, set()).add(fid)
+        # Initial pass in declaration order, then a worklist to a
+        # fixpoint.  Every summary component is monotone (booleans flip
+        # only False->True, sets only grow), so mutual recursion
+        # converges; the cap catches a non-monotone edit loudly.
+        worklist = list(graph.functions)
+        queued = set(worklist)
+        budget = max(64, 16 * len(graph.functions))
+        while worklist:
+            budget -= 1
+            if budget < 0:
+                raise FixpointError(
+                    "function summaries did not converge: a summary "
+                    "component is not monotone")
+            fid = worklist.pop(0)
+            queued.discard(fid)
+            decl = graph.functions[fid]
+            updated = self._summarise(fid, decl)
+            if updated != self.summaries[fid]:
+                self.summaries[fid] = updated
+                for caller in sorted(callers.get(fid, ())):
+                    if caller not in queued:
+                        worklist.append(caller)
+                        queued.add(caller)
+
+    def _summarise(self, fid: FunctionId,
+                   decl: FunctionDecl) -> FunctionSummary:
+        graph = self.graph
+        sites = graph.call_sites(fid)
+        may_yield = decl.has_yield or any(
+            self.summary(site.callee).may_yield
+            for site in sites if site.callee is not None)
+
+        mutates: Set[str] = set()
+        for stmt in ast.walk(decl.node):
+            if isinstance(stmt, ast.stmt):
+                for _, _, attr in watched_mutations(stmt):
+                    mutates.add(attr)
+        for site in sites:
+            if site.callee is not None:
+                mutates.update(self.summary(site.callee).mutates_watched)
+
+        cfg = self._cfgs[fid]
+        must_bump = self._must_bump(fid, decl, cfg)
+        may_leave_unbumped = (bool(mutates)
+                              and self._may_leave_unbumped(fid, decl, cfg))
+        returns_stream, escaping = self._stream_facts(fid, decl, cfg)
+        return FunctionSummary(
+            may_yield=may_yield,
+            mutates_watched=frozenset(mutates),
+            may_leave_unbumped=may_leave_unbumped,
+            must_bump=must_bump,
+            returns_stream=returns_stream,
+            escaping_params=escaping,
+        )
+
+    # Calls at one CFG node, resolved against the graph.  CallSites are
+    # matched by identity of the ast.Call object.
+    def _sites_by_call(self, fid: FunctionId) -> Dict[int, CallSite]:
+        cached = self._site_index.get(fid)
+        if cached is None:
+            cached = {id(site.call): site
+                      for site in self.graph.call_sites(fid)}
+            self._site_index[fid] = cached
+        return cached
+
+    def node_calls(self, fid: FunctionId,
+                    stmt: ast.AST) -> List[CallSite]:
+        by_id = self._sites_by_call(fid)
+        out: List[CallSite] = []
+        for root in header_exprs(stmt):
+            for node in ast.walk(root):
+                if isinstance(node, ast.Call) and id(node) in by_id:
+                    out.append(by_id[id(node)])
+        return out
+
+    def bumps_here(self, fid: FunctionId, stmt: ast.AST) -> bool:
+        if is_bump_stmt(stmt):
+            return True
+        for site in self.node_calls(fid, stmt):
+            if (site.callee is not None
+                    and self.summary(site.callee).must_bump):
+                return True
+        return False
+
+    def _must_bump(self, fid: FunctionId, decl: FunctionDecl,
+                   cfg: CFG) -> bool:
+        """True iff every entry->exit path passes a bump.
+
+        Implemented as a may-analysis of the *absence* of a bump: seed
+        a token at entry, kill it at bump statements; if the token can
+        reach the normal exit (or a return), some path never bumped.
+        """
+        token = frozenset({"no-bump-yet"})
+
+        def transfer(node: CFGNode,
+                     value: FrozenSet[object]) -> FrozenSet[object]:
+            stmt = node.stmt
+            if stmt is None or not isinstance(stmt, ast.stmt):
+                return value
+            if self.bumps_here(fid, stmt):
+                return frozenset()
+            return value
+
+        result = solve_forward(cfg, _LATTICE, transfer, token)
+        if result.entering(cfg.exit):
+            return False
+        for node in cfg.stmt_nodes():
+            if (isinstance(node.stmt, ast.Return)
+                    and result.entering(node)):
+                return False
+        return True
+
+    def _may_leave_unbumped(self, fid: FunctionId, decl: FunctionDecl,
+                            cfg: CFG) -> bool:
+        """Some path mutates watched state and exits without a bump."""
+
+        def transfer(node: CFGNode,
+                     value: FrozenSet[object]) -> FrozenSet[object]:
+            stmt = node.stmt
+            if stmt is None or not isinstance(stmt, ast.stmt):
+                return value
+            if self.bumps_here(fid, stmt):
+                value = frozenset()
+            gens: List[object] = [
+                (line, col, attr)
+                for line, col, attr in watched_mutations(stmt)]
+            for site in self.node_calls(fid, stmt):
+                if (site.callee is not None
+                        and self.summary(site.callee).may_leave_unbumped):
+                    gens.append((site.line, site.col, "<call>"))
+            return value | frozenset(gens) if gens else value
+
+        result = solve_forward(cfg, _LATTICE, transfer, frozenset())
+        if result.entering(cfg.exit):
+            return True
+        return any(isinstance(node.stmt, ast.Return)
+                   and result.entering(node)
+                   for node in cfg.stmt_nodes())
+
+    def _stream_facts(self, fid: FunctionId, decl: FunctionDecl,
+                      cfg: CFG) -> Tuple[bool, FrozenSet[str]]:
+        """(returns a stream?, params whose stream taint escapes).
+
+        One taint pass per function: stream-producing expressions taint
+        with the anonymous mark, parameters taint with their own name,
+        and both propagate through local assignments and through calls
+        to ``returns_stream`` callees.  A sink (non-stream attribute or
+        global store, argument position feeding a callee's escaping
+        parameter) reached by a parameter's mark puts that parameter in
+        ``escaping_params``; a return reached by any mark sets
+        ``returns_stream``.
+        """
+        params = _param_names(decl.node)
+        param_set = frozenset(params)
+        anon = "<stream>"
+
+        # Taint facts are ``(local name, mark)`` pairs; marks are the
+        # anonymous stream mark or an originating parameter name.
+        def local_marks(name: str,
+                        tainted: FrozenSet[object]) -> FrozenSet[object]:
+            out: Set[object] = set()
+            for fact in tainted:
+                if isinstance(fact, tuple) and fact[0] == name:
+                    out.add(fact[1])
+            return frozenset(out)
+
+        sites_by_call = self._sites_by_call(fid)
+
+        def value_marks(expr: Optional[ast.AST],
+                        tainted: FrozenSet[object]) -> FrozenSet[object]:
+            if expr is None:
+                return frozenset()
+            if _is_stream_call(expr):
+                return frozenset({anon})
+            if isinstance(expr, ast.Name):
+                return local_marks(expr.id, tainted)
+            if isinstance(expr, ast.Call):
+                site = sites_by_call.get(id(expr))
+                if (site is not None and site.callee is not None
+                        and self.summary(site.callee).returns_stream):
+                    return frozenset({anon})
+            return frozenset()
+
+        def transfer(node: CFGNode,
+                     tainted: FrozenSet[object]) -> FrozenSet[object]:
+            stmt = node.stmt
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                return tainted
+            marks = value_marks(stmt.value, tainted)
+            targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                       else [stmt.target])
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    tainted = frozenset(
+                        fact for fact in tainted
+                        if not (isinstance(fact, tuple)
+                                and fact[0] == target.id))
+                    tainted = tainted | frozenset(
+                        (target.id, mark) for mark in marks)
+            return tainted
+
+        stream_params = _stream_param_names(decl.node)
+        entry = frozenset((name, name) for name in stream_params)
+        result = solve_forward(cfg, _LATTICE, transfer, entry)
+
+        returns_stream = False
+        escaping: Set[str] = set()
+        for node in cfg.stmt_nodes():
+            stmt = node.stmt
+            if stmt is None or not isinstance(stmt, ast.stmt):
+                continue
+            tainted = result.entering(node)
+            if isinstance(stmt, ast.Return):
+                if value_marks(stmt.value, tainted):
+                    returns_stream = True
+                continue
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                marks = value_marks(stmt.value, tainted)
+                if marks:
+                    targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                               else [stmt.target])
+                    for target in targets:
+                        if self._is_escape_target(target):
+                            escaping.update(m for m in marks
+                                            if isinstance(m, str)
+                                            and m in param_set)
+            # Tainted argument handed to a callee's escaping parameter.
+            for site in self.node_calls(fid, stmt):
+                if site.callee is None:
+                    continue
+                callee_summary = self.summary(site.callee)
+                if not callee_summary.escaping_params:
+                    continue
+                callee_decl = self.graph.declaration(site.callee)
+                if callee_decl is None:
+                    continue
+                for param, arg in bind_args(callee_decl, site.call):
+                    if param not in callee_summary.escaping_params:
+                        continue
+                    marks = value_marks(arg, tainted)
+                    escaping.update(m for m in marks
+                                    if isinstance(m, str)
+                                    and m in param_set)
+        return returns_stream, frozenset(escaping)
+
+    @staticmethod
+    def _is_escape_target(target: ast.AST) -> bool:
+        """A store that takes a stream out of the local discipline."""
+        if isinstance(target, ast.Attribute):
+            return _STREAM_TOKEN not in target.attr.lower()
+        if isinstance(target, ast.Subscript):
+            root = target.value
+            while isinstance(root, ast.Subscript):
+                root = root.value
+            if isinstance(root, ast.Attribute):
+                return _STREAM_TOKEN not in root.attr.lower()
+        return False
+
+
+def bind_args(decl: FunctionDecl,
+               call: ast.Call) -> List[Tuple[str, ast.AST]]:
+    """Match call arguments to callee parameter names (best effort).
+
+    Positional arguments map in order (skipping ``self``/``cls`` for
+    methods), keywords by name; ``*args``/``**kwargs`` and starred
+    arguments are ignored — the summaries only need the plain calls the
+    codebase actually uses.
+    """
+    params = _param_names(decl.node)
+    if decl.class_name is not None and params and params[0] in ("self",
+                                                                "cls"):
+        params = params[1:]
+    out: List[Tuple[str, ast.AST]] = []
+    for index, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            break
+        if index < len(params):
+            out.append((params[index], arg))
+    for keyword in call.keywords:
+        if keyword.arg is not None:
+            out.append((keyword.arg, keyword.value))
+    return out
+
+
+def compute_summaries(graph: CallGraph) -> SummaryTable:
+    """Build the summary table for one call graph."""
+    return SummaryTable(graph)

@@ -153,7 +153,7 @@ class ControlNode:
             while True:
                 response = self.scheduler.admit(txn, env.now)
                 yield from self._cpu_work(response.cpu_cost)
-                if response.admitted:
+                if response.admitted:  # repro-lint: disable=RL009 -- the admission decision is made atomically inside admit() and is binding; the CPU yield models the cost of computing it, not a revalidation window
                     break
                 self._trace(EventType.ADMISSION_REJECTED, txn,
                             reason=response.reason)
@@ -183,7 +183,7 @@ class ControlNode:
                 while True:
                     response = self.scheduler.request_lock(txn, env.now)
                     yield from self._cpu_work(response.cpu_cost)
-                    if response.granted:
+                    if response.granted:  # repro-lint: disable=RL009 -- the grant decision is made atomically inside request_lock() and is binding; the CPU yield models the cost of computing it, not a revalidation window
                         granted = True
                         break
                     if response.decision is Decision.ABORT:

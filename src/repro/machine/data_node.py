@@ -258,9 +258,9 @@ class DataNode:
             yield self.env.timeout(service)
             self._current = None
             self.busy_time += service
-            if item.cancelled:
-                # Killed mid-quantum: the device time is spent, the
-                # result is discarded (no message, no progress).
+            # Killed mid-quantum: the device time is spent, the result
+            # is discarded (no message, no progress).
+            if item.cancelled:  # repro-lint: disable=RL009 -- _WorkItem is node-private (only this loop mutates its fields) and this read IS the post-yield cancellation re-check; cancel() only sets the flag tested here
                 continue
             self.objects_processed += quantum
             self.messages_sent += 1  # weight-adjustment message to the CN
@@ -338,7 +338,7 @@ class DataNode:
             yield env.timeout_until(t + service)
             self._current = None
             self.busy_time += service
-            if item.cancelled:
+            if item.cancelled:  # repro-lint: disable=RL009 -- _WorkItem is node-private (only this loop and the pre-play helpers mutate its fields) and this read IS the post-yield cancellation re-check; cancel() only sets the flag tested here
                 continue
             self.objects_processed += quantum
             self.messages_sent += 1

@@ -20,10 +20,10 @@ BAD_SOURCE = (
 )
 
 
-def test_registry_holds_the_eight_documented_rules():
+def test_registry_holds_the_twelve_documented_rules():
     assert [rule.rule_id for rule in all_rules()] == [
-        "RL001", "RL002", "RL003", "RL004", "RL005",
-        "RL006", "RL007", "RL008"]
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+        "RL007", "RL008", "RL009", "RL010", "RL011", "RL012"]
     assert all(rule.summary for rule in all_rules())
 
 
@@ -47,8 +47,9 @@ def test_json_report_schema():
     assert payload["tool"] == "repro-lint"
     assert payload["version"] == 1
     assert payload["files_checked"] == 1
-    assert payload["rules"] == ["RL001", "RL002", "RL003", "RL004", "RL005",
-                                "RL006", "RL007", "RL008"]
+    assert payload["rules"] == ["RL001", "RL002", "RL003", "RL004",
+                                "RL005", "RL006", "RL007", "RL008",
+                                "RL009", "RL010", "RL011", "RL012"]
     assert len(payload["violations"]) == 1
     entry = payload["violations"][0]
     assert set(entry) == {"rule", "file", "line", "col", "message"}
@@ -104,8 +105,8 @@ def test_cli_exit_two_on_missing_path(capsys):
 def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005",
-                    "RL006", "RL007", "RL008"):
+    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+                    "RL007", "RL008", "RL009", "RL010", "RL011", "RL012"):
         assert rule_id in out
 
 
@@ -116,6 +117,54 @@ def test_cli_skips_pycache_directories(tmp_path, capsys):
     (tree / "ok.py").write_text("x = 1\n")
     (cache / "bad.py").write_text(BAD_SOURCE)
     assert main([str(tree)]) == 0
+
+
+def test_cli_select_runs_only_named_rules(tmp_path, capsys):
+    bad = tmp_path / "repro" / "machine"
+    bad.mkdir(parents=True)
+    (bad / "bad.py").write_text(BAD_SOURCE)
+    assert main(["--select", "RL001", str(bad / "bad.py")]) == 0
+    capsys.readouterr()
+    assert main(["--select", "RL005,RL009", str(bad / "bad.py")]) == 1
+    assert "RL005" in capsys.readouterr().out
+
+
+def test_cli_ignore_skips_named_rules(tmp_path, capsys):
+    bad = tmp_path / "repro" / "machine"
+    bad.mkdir(parents=True)
+    (bad / "bad.py").write_text(BAD_SOURCE)
+    assert main(["--ignore", "RL005", str(bad / "bad.py")]) == 0
+
+
+def test_cli_rule_filters_reject_unknown_ids(capsys):
+    assert main(["--select", "RL999", "."]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+    assert main(["--ignore", "nonsense", "."]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_jobs_rejects_nonpositive(capsys):
+    assert main(["--jobs", "0", "."]) == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_parallel_run_matches_serial_output(tmp_path):
+    """--jobs output is byte-identical to the serial run."""
+    from repro.lint.engine import lint_paths
+
+    pkg = tmp_path / "repro" / "machine"
+    pkg.mkdir(parents=True)
+    (pkg / "bad.py").write_text(BAD_SOURCE)
+    (pkg / "worse.py").write_text(BAD_SOURCE + BAD_SOURCE.replace(
+        "def run", "def rerun"))
+    (pkg / "clean.py").write_text("x = 1\n")
+    (pkg / "broken.py").write_text("def broken(:\n")
+    serial, serial_runner = lint_paths([tmp_path])
+    parallel, parallel_runner = lint_paths([tmp_path], jobs=3)
+    assert parallel == serial
+    assert parallel_runner.files_checked == serial_runner.files_checked
+    assert [v.rule_id for v in serial] == ["RL005", "RL000", "RL005",
+                                           "RL005"]
 
 
 def test_rl002_has_teeth_against_the_real_wtpg():
