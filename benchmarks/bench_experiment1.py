@@ -1,15 +1,17 @@
 """Benchmark: regenerate Figures 6 and 7 (Experiment 1, scaled).
 
-Pattern1 arrival-rate sweep per scheduler.  The benchmark time is the
-cost of one scheduler's sweep; the printed tables are the figure rows.
-Expected shape: ASL ~ CHAIN ~ K2 well above C2PL in TPS at equal rates,
-NODC on top.
+Pattern1 arrival-rate sweep per scheduler, fanned over ``--jobs`` worker
+processes via the deterministic sweep executor (results are identical
+for every jobs value; only wall-clock changes).  The benchmark time is
+the cost of one scheduler's sweep; the printed tables are the figure
+rows.  Expected shape: ASL ~ CHAIN ~ K2 well above C2PL in TPS at equal
+rates, NODC on top.
 """
 
 import pytest
 
-from conftest import print_series, run_point
-from repro.workloads import pattern1, pattern1_catalog
+from conftest import BENCH_CLOCKS, BENCH_SEED, print_series
+from repro.experiments.runner import run_points, sweep_specs
 
 RATES = (0.3, 0.6, 0.9)
 SCHEDULERS = ("ASL", "C2PL", "CHAIN", "K2", "NODC")
@@ -18,14 +20,12 @@ _results = {}
 
 
 @pytest.mark.parametrize("scheduler", SCHEDULERS)
-def test_figure6_7_sweep(benchmark, scheduler):
+def test_figure6_7_sweep(benchmark, scheduler, jobs):
+    specs = sweep_specs("pattern1", [scheduler], RATES,
+                        sim_clocks=BENCH_CLOCKS, seed=BENCH_SEED)
+
     def sweep():
-        points = []
-        for rate in RATES:
-            result = run_point(scheduler, rate, pattern1(16),
-                               pattern1_catalog(), num_partitions=16)
-            points.append(result.metrics)
-        return points
+        return run_points(specs, processes=jobs)
 
     points = benchmark.pedantic(sweep, rounds=1, iterations=1)
     _results[scheduler] = points

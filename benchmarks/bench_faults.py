@@ -7,8 +7,11 @@ in the injected rate (aborts waste already-done bulk work but the graph
 heals via node excision), while 2PL stacks injected aborts on top of its
 own deadlock restarts.
 
-The final parametrization writes ``BENCH_faults.json`` at the repo root
-with the full curve, so CI archives the degradation profile.
+Each scheduler's fault-rate sweep runs through the deterministic point
+executor and fans over ``--jobs`` worker processes (identical results
+for every jobs value).  The final parametrization writes
+``BENCH_faults.json`` at the repo root with the full curve, so CI
+archives the degradation profile.
 """
 
 import json
@@ -16,9 +19,9 @@ from pathlib import Path
 
 import pytest
 
-from conftest import print_series, run_point
+from conftest import BENCH_CLOCKS, BENCH_SEED, print_series
+from repro.experiments.runner import PointSpec, run_points
 from repro.faults import FaultPlan
-from repro.workloads import pattern1, pattern1_catalog
 
 RATE = 0.6
 FAULT_RATES = (0.0, 0.1, 0.25, 0.5)
@@ -27,26 +30,29 @@ SCHEDULERS = ("CHAIN", "K2", "2PL")
 _results = {}
 
 
-def _plan(fault_rate):
-    return FaultPlan(abort_rate=fault_rate) if fault_rate > 0.0 else None
+def _spec(scheduler, fault_rate):
+    plan_json = (FaultPlan(abort_rate=fault_rate).to_json()
+                 if fault_rate > 0.0 else None)
+    return PointSpec("pattern1", scheduler, RATE, sim_clocks=BENCH_CLOCKS,
+                     seed=BENCH_SEED, fault_plan_json=plan_json)
 
 
-@pytest.mark.parametrize("fault_rate", FAULT_RATES)
 @pytest.mark.parametrize("scheduler", SCHEDULERS)
-def test_throughput_vs_fault_rate(benchmark, scheduler, fault_rate):
-    def one():
-        return run_point(scheduler, RATE, pattern1(16), pattern1_catalog(),
-                         num_partitions=16, fault_plan=_plan(fault_rate))
+def test_throughput_vs_fault_rate(benchmark, scheduler, jobs):
+    specs = [_spec(scheduler, rate) for rate in FAULT_RATES]
 
-    result = benchmark.pedantic(one, rounds=1, iterations=1)
-    metrics = result.metrics
-    _results[(scheduler, fault_rate)] = metrics
-    assert metrics.commits > 0
-    if fault_rate > 0.0:
-        assert metrics.fault_aborts > 0
-        assert metrics.restarts > 0
-    else:
-        assert metrics.fault_aborts == 0
+    def sweep():
+        return run_points(specs, processes=jobs)
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for fault_rate, metrics in zip(FAULT_RATES, points):
+        _results[(scheduler, fault_rate)] = metrics
+        assert metrics.commits > 0
+        if fault_rate > 0.0:
+            assert metrics.fault_aborts > 0
+            assert metrics.restarts > 0
+        else:
+            assert metrics.fault_aborts == 0
 
     if len(_results) == len(SCHEDULERS) * len(FAULT_RATES):
         _report()

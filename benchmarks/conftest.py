@@ -19,6 +19,20 @@ BENCH_CLOCKS = 250_000.0
 BENCH_SEED = 1
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", action="store", type=int, default=1,
+        help="worker processes for the sweep benchmarks "
+             "(bench_experiment1, bench_faults); results are identical "
+             "for every value — only wall-clock changes")
+
+
+@pytest.fixture
+def jobs(request):
+    """The --jobs option: pool width for sweep-shaped benchmarks."""
+    return request.config.getoption("--jobs")
+
+
 def run_point(scheduler: str, rate: float, workload, catalog,
               num_partitions: int, fault_plan=None, **overrides):
     """One simulation point with the benchmark defaults."""

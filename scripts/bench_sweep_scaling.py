@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Measure sweep wall-clock: serial vs pooled, and resume vs re-run.
+
+Writes ``BENCH_sweep.json`` at the repo root with four honest numbers:
+
+* ``serial_s`` / ``parallel_s`` — one full grid with ``--jobs 1`` and
+  ``--jobs N`` (N = ``--jobs``, default all cores).  On a multi-core
+  machine the pooled run should approach ``serial_s / min(N, cores)``;
+  on a 1-core container the two are the same run and the file records
+  that honestly (``cpu_count`` is part of the payload).
+* ``resume_s`` / ``rerun_s`` — after interrupting a checkpointed grid
+  halfway, finishing it from the checkpoint vs starting over.  This
+  speedup is scheduling-free and reproduces on any machine: resuming
+  half a grid costs half a grid.
+
+The script also asserts that every configuration produced bit-identical
+metrics — the determinism guarantee the test suite proves, re-checked
+here on the timing grid.
+
+Run:  python scripts/bench_sweep_scaling.py [--jobs N] [--clocks C]
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.errors import SweepInterrupted
+from repro.experiments.parallel import SweepSpec, run_sweep
+from repro.experiments.runner import PointSpec
+
+ROOT = Path(__file__).resolve().parent.parent
+
+SCHEDULERS = ("ASL", "C2PL", "CHAIN", "K2", "NODC")
+RATES = (0.3, 0.6, 0.9)
+
+
+def build_sweep(clocks: float) -> SweepSpec:
+    points = tuple(PointSpec("pattern1", scheduler, rate, sim_clocks=clocks)
+                   for scheduler in SCHEDULERS for rate in RATES)
+    return SweepSpec(points=points, root_seed=1)
+
+
+def timed(label: str, fn):
+    started = time.perf_counter()
+    value = fn()
+    elapsed = time.perf_counter() - started
+    print(f"  {label}: {elapsed:.2f}s", file=sys.stderr, flush=True)
+    return elapsed, value
+
+
+def grid_dicts(result):
+    return {key: metrics.as_dict() for key, metrics in result.results.items()}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="pool width for the parallel leg "
+                             "(default: all cores)")
+    parser.add_argument("--clocks", type=float, default=250_000,
+                        help="horizon per point (bench_experiment1 scale)")
+    args = parser.parse_args()
+    jobs = args.jobs or (os.cpu_count() or 1)
+    sweep = build_sweep(args.clocks)
+    total = len(sweep.tasks())
+    print(f"grid: {total} points x {args.clocks:g} clocks, "
+          f"jobs={jobs}, cores={os.cpu_count()}", file=sys.stderr)
+
+    serial_s, serial = timed("serial (jobs=1)",
+                             lambda: run_sweep(sweep, max_workers=1))
+    parallel_s, parallel = timed(f"parallel (jobs={jobs})",
+                                 lambda: run_sweep(sweep, max_workers=jobs))
+    assert grid_dicts(serial) == grid_dicts(parallel), \
+        "parallel sweep diverged from serial"
+
+    # Resume half a checkpointed grid vs re-running the whole thing.
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = Path(tmp) / "grid.jsonl"
+        try:
+            run_sweep(sweep, max_workers=jobs, checkpoint=ckpt,
+                      task_budget=total // 2)
+        except SweepInterrupted:
+            pass
+        resume_s, resumed = timed(
+            "resume (half checkpointed)",
+            lambda: run_sweep(sweep, max_workers=jobs, checkpoint=ckpt))
+    assert resumed.reused == total // 2
+    assert grid_dicts(resumed) == grid_dicts(serial), \
+        "resumed sweep diverged from serial"
+    rerun_s = parallel_s   # a fresh run of the same grid at the same width
+
+    payload = {
+        "grid_points": total,
+        "sim_clocks": args.clocks,
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "parallel_speedup": round(serial_s / parallel_s, 3),
+        "resume_s": round(resume_s, 3),
+        "rerun_s": round(rerun_s, 3),
+        "resume_speedup": round(rerun_s / resume_s, 3),
+        "deterministic": True,   # asserted above, on this very grid
+    }
+    out = ROOT / "BENCH_sweep.json"
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}", file=sys.stderr)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,10 @@
 Writes one text report per experiment to results/ (used to fill
 EXPERIMENTS.md).  Takes tens of minutes; progress goes to stderr.
 
-Run:  python scripts/run_paper_experiments.py [--clocks N]
+Run:  python scripts/run_paper_experiments.py [--clocks N] [--jobs J]
+
+``--jobs`` fans each experiment's point grid over J worker processes
+(repro.experiments.runner); results are identical for every J.
 """
 
 import argparse
@@ -41,6 +44,9 @@ def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--clocks", type=float, default=2_000_000)
     parser.add_argument("--only", type=str, default="1,2,3,4")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes per experiment grid "
+                             "(results identical for every value)")
     args = parser.parse_args()
     wanted = {token.strip() for token in args.only.split(",")}
 
@@ -50,25 +56,28 @@ def main() -> int:
         config = ExperimentConfig(
             sim_clocks=args.clocks, arrival_rates=EXP1_RATES,
             schedulers=("ASL", "C2PL", "CHAIN", "K2", "NODC"),
-            progress=progress)
+            progress=progress, max_workers=args.jobs)
         save("exp1", report_experiment1(run_experiment1(config)))
     if "2" in wanted:
         progress("experiment 2 ...")
         config = ExperimentConfig(
             sim_clocks=args.clocks, arrival_rates=SWEEP_RATES,
-            schedulers=("ASL", "C2PL", "CHAIN", "K2"), progress=progress)
+            schedulers=("ASL", "C2PL", "CHAIN", "K2"), progress=progress,
+            max_workers=args.jobs)
         save("exp2", report_experiment2(run_experiment2(config)))
     if "3" in wanted:
         progress("experiment 3 ...")
         config = ExperimentConfig(
             sim_clocks=args.clocks, arrival_rates=SWEEP_RATES,
-            schedulers=("ASL", "C2PL", "CHAIN", "K2"), progress=progress)
+            schedulers=("ASL", "C2PL", "CHAIN", "K2"), progress=progress,
+            max_workers=args.jobs)
         save("exp3", report_experiment3(run_experiment3(config)))
     if "4" in wanted:
         progress("experiment 4 ...")
         config = ExperimentConfig(
             sim_clocks=args.clocks, arrival_rates=SWEEP_RATES,
-            schedulers=EXP4_SCHEDULERS, progress=progress)
+            schedulers=EXP4_SCHEDULERS, progress=progress,
+            max_workers=args.jobs)
         save("exp4", report_experiment4(run_experiment4(config)))
     progress(f"all done in {(time.time() - started) / 60:.1f} minutes")
     return 0

@@ -17,7 +17,7 @@ used by EXPERIMENTS.md and the shape-checking tests.
 """
 
 from repro.experiments.base import (ExperimentConfig, SchedulerCurve,
-                                    sweep_arrival_rates)
+                                    run_scheduler_grid, sweep_arrival_rates)
 from repro.experiments.experiment1 import Experiment1Result, run_experiment1
 from repro.experiments.experiment2 import Experiment2Result, run_experiment2
 from repro.experiments.experiment3 import Experiment3Result, run_experiment3
@@ -30,6 +30,8 @@ from repro.experiments.mixed import (MixedExperimentResult,
                                      run_mixed_experiment)
 from repro.experiments.placement import (PlacementExperimentResult,
                                          run_placement_experiment)
+from repro.experiments.parallel import (SweepResult, SweepSpec, run_sweep,
+                                        run_tasks, sweep_status, task_seed)
 from repro.experiments.runner import PointSpec, run_points, sweep_specs
 from repro.experiments.verify import verify_paper_claims
 
@@ -43,6 +45,8 @@ __all__ = [
     "PlacementExperimentResult",
     "PointSpec",
     "SchedulerCurve",
+    "SweepResult",
+    "SweepSpec",
     "export_experiment1",
     "export_experiment2",
     "export_experiment3",
@@ -54,7 +58,12 @@ __all__ = [
     "run_experiment4",
     "run_mixed_experiment",
     "run_points",
+    "run_scheduler_grid",
+    "run_sweep",
+    "run_tasks",
     "sweep_arrival_rates",
     "sweep_specs",
+    "sweep_status",
+    "task_seed",
     "verify_paper_claims",
 ]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.config import SimulationParameters
 from repro.machine.cluster import WorkloadFn, run_simulation
@@ -29,6 +29,10 @@ class ExperimentConfig:
     arrival_rates: Sequence[float] = (
         0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1)
     progress: Optional[Callable[[str], None]] = None
+    max_workers: int = 1
+    """Process-pool width for the point grid (1 = in-process).  Results
+    are identical for every value: each point is an isolated simulation
+    seeded by its spec, executed via repro.experiments.runner."""
 
     def report(self, message: str) -> None:
         if self.progress is not None:
@@ -96,6 +100,47 @@ def sweep_arrival_rates(scheduler: str, config: ExperimentConfig,
             f"{scheduler} λ={rate:.2f}: TPS={result.metrics.throughput_tps:.3f} "
             f"RT={result.metrics.mean_response_time / 1000:.1f}s")
     return curve
+
+
+def run_scheduler_grid(config: ExperimentConfig, workload: str,
+                       num_hots: int = 8, error_sigma: float = 0.0,
+                       schedulers: Optional[Sequence[str]] = None,
+                       ) -> Dict[str, SchedulerCurve]:
+    """Run the full schedulers x arrival-rates grid of ``config``.
+
+    The grid is expressed as declarative :class:`PointSpec`s and fanned
+    across ``config.max_workers`` processes by the deterministic
+    executor (:mod:`repro.experiments.runner`); curves come back in
+    config order with points in arrival-rate order, bit-identical to a
+    serial nested loop.  Workloads must be spec-expressible (pattern1/2/3
+    — all four paper experiments are); custom-workload sweeps use
+    :func:`sweep_arrival_rates` instead.
+    """
+    from repro.experiments.runner import PointSpec, run_points
+
+    if schedulers is None:
+        schedulers = tuple(config.schedulers)
+    if not config.arrival_rates:
+        raise ExperimentError("need at least one arrival rate")
+    specs = [PointSpec(workload=workload, scheduler=scheduler,
+                       arrival_rate_tps=rate, sim_clocks=config.sim_clocks,
+                       seed=config.seed, num_hots=num_hots,
+                       error_sigma=error_sigma)
+             for scheduler in schedulers for rate in config.arrival_rates]
+
+    def progress(spec: "PointSpec", metrics: RunMetrics) -> None:
+        config.report(
+            f"{spec.scheduler} λ={spec.arrival_rate_tps:.2f}: "
+            f"TPS={metrics.throughput_tps:.3f} "
+            f"RT={metrics.mean_response_time / 1000:.1f}s")
+
+    metrics = run_points(specs, processes=config.max_workers,
+                         progress=progress if config.progress else None)
+    curves: Dict[str, SchedulerCurve] = {}
+    for spec, point in zip(specs, metrics):
+        curves.setdefault(spec.scheduler,
+                          SchedulerCurve(spec.scheduler)).points.append(point)
+    return curves
 
 
 def useful_utilization(curve: SchedulerCurve, nodc: SchedulerCurve,

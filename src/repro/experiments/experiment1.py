@@ -15,11 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.config import SimulationParameters
 from repro.experiments.base import (RT_TARGET_CLOCKS, ExperimentConfig,
-                                    SchedulerCurve, sweep_arrival_rates,
+                                    SchedulerCurve, run_scheduler_grid,
                                     useful_utilization)
-from repro.workloads import pattern1, pattern1_catalog
 
 NUM_PARTITIONS = 16
 
@@ -58,14 +56,8 @@ class Experiment1Result:
 
 def run_experiment1(config: Optional[ExperimentConfig] = None,
                     ) -> Experiment1Result:
-    """Regenerate Figures 6 and 7."""
+    """Regenerate Figures 6 and 7 (parallel across config.max_workers)."""
     config = config or ExperimentConfig()
-    base = SimulationParameters(num_partitions=NUM_PARTITIONS)
     result = Experiment1Result(config)
-    for scheduler in config.schedulers:
-        result.curves[scheduler] = sweep_arrival_rates(
-            scheduler, config,
-            workload_factory=lambda: pattern1(NUM_PARTITIONS),
-            catalog_factory=lambda: pattern1_catalog(NUM_PARTITIONS),
-            base_params=base)
+    result.curves = run_scheduler_grid(config, "pattern1")
     return result

@@ -15,10 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.config import SimulationParameters
 from repro.experiments.base import (RT_TARGET_CLOCKS, ExperimentConfig,
-                                    SchedulerCurve, sweep_arrival_rates)
-from repro.workloads import pattern2, pattern2_catalog
+                                    SchedulerCurve, run_scheduler_grid)
 
 DEFAULT_NUM_HOTS = (4, 8, 16, 32)
 NUM_READONLY = 8
@@ -53,17 +51,7 @@ def run_experiment2(config: Optional[ExperimentConfig] = None,
     config = config or ExperimentConfig()
     result = Experiment2Result(config, tuple(num_hots_values))
     for num_hots in num_hots_values:
-        base = SimulationParameters(
-            num_partitions=NUM_READONLY + num_hots)
-        per_sched: Dict[str, SchedulerCurve] = {}
-        for scheduler in config.schedulers:
-            per_sched[scheduler] = sweep_arrival_rates(
-                scheduler, config,
-                workload_factory=lambda h=num_hots: pattern2(
-                    num_hots=h, num_readonly=NUM_READONLY),
-                catalog_factory=lambda h=num_hots: pattern2_catalog(
-                    num_hots=h, num_readonly=NUM_READONLY),
-                base_params=base)
-        result.curves[num_hots] = per_sched
+        result.curves[num_hots] = run_scheduler_grid(
+            config, "pattern2", num_hots=num_hots)
         config.report(f"NumHots={num_hots} done")
     return result

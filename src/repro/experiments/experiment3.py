@@ -15,10 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.config import SimulationParameters
 from repro.experiments.base import (RT_TARGET_CLOCKS, ExperimentConfig,
-                                    SchedulerCurve, sweep_arrival_rates)
-from repro.workloads import pattern3, pattern3_catalog
+                                    SchedulerCurve, run_scheduler_grid)
 
 NUM_HOTS = 8
 NUM_READONLY = 8
@@ -51,14 +49,7 @@ def run_experiment3(config: Optional[ExperimentConfig] = None,
                     ) -> Experiment3Result:
     """Regenerate Figure 9."""
     config = config or ExperimentConfig()
-    base = SimulationParameters(num_partitions=NUM_READONLY + NUM_HOTS)
     result = Experiment3Result(config)
-    for scheduler in config.schedulers:
-        result.curves[scheduler] = sweep_arrival_rates(
-            scheduler, config,
-            workload_factory=lambda: pattern3(num_hots=NUM_HOTS,
-                                              num_readonly=NUM_READONLY),
-            catalog_factory=lambda: pattern3_catalog(num_hots=NUM_HOTS,
-                                                     num_readonly=NUM_READONLY),
-            base_params=base)
+    result.curves = run_scheduler_grid(config, "pattern3",
+                                       num_hots=NUM_HOTS)
     return result

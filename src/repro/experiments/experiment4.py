@@ -18,10 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.config import SimulationParameters
 from repro.experiments.base import (RT_TARGET_CLOCKS, ExperimentConfig,
-                                    SchedulerCurve, sweep_arrival_rates)
-from repro.workloads import pattern1, pattern1_catalog
+                                    SchedulerCurve, run_scheduler_grid)
 
 NUM_PARTITIONS = 16
 DEFAULT_SIGMAS = (0.0, 0.25, 0.5, 0.75, 1.0)
@@ -71,19 +69,12 @@ def run_experiment4(config: Optional[ExperimentConfig] = None,
     """Regenerate Figure 10."""
     if config is None:
         config = ExperimentConfig(schedulers=DEFAULT_SCHEDULERS)
-    base = SimulationParameters(num_partitions=NUM_PARTITIONS)
     result = Experiment4Result(config, tuple(sigmas))
     for sigma in sigmas:
-        per_sched: Dict[str, SchedulerCurve] = {}
-        for scheduler in config.schedulers:
-            if sigma != 0.0 and scheduler in _SIGMA_INVARIANT:
-                continue  # identical to its sigma = 0 run
-            per_sched[scheduler] = sweep_arrival_rates(
-                scheduler, config,
-                workload_factory=lambda s=sigma: pattern1(
-                    NUM_PARTITIONS, error_sigma=s),
-                catalog_factory=lambda: pattern1_catalog(NUM_PARTITIONS),
-                base_params=base)
-        result.curves[sigma] = per_sched
+        wanted = [scheduler for scheduler in config.schedulers
+                  if sigma == 0.0 or scheduler not in _SIGMA_INVARIANT]
+        result.curves[sigma] = (run_scheduler_grid(
+            config, "pattern1", error_sigma=sigma, schedulers=wanted)
+            if wanted else {})
         config.report(f"sigma={sigma:g} done")
     return result

@@ -1,22 +1,24 @@
-"""Parallel execution of simulation points across processes.
+"""Declarative simulation points and their parallel execution.
 
 A full-fidelity experiment is dozens of independent 2,000,000-clock
 simulations; they parallelise perfectly.  Because worker processes need
 picklable work items, a point is described *declaratively* by
-:class:`PointSpec` (workload/catalog factories are resolved inside the
-worker from the spec), and :func:`run_points` fans them out over a
-``multiprocessing`` pool — falling back to in-process execution for
-``processes=1`` (or when a pool cannot be created, e.g. on exotic
-platforms).
+:class:`PointSpec` (workload/catalog/fault-plan factories are resolved
+inside the worker from the spec).  :func:`run_points` fans specs across
+cores via the deterministic executor in
+:mod:`repro.experiments.parallel` — one runner, one code path, for the
+experiments, the benchmarks, the CLI sweeps and the property harness
+alike.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SimulationParameters
 from repro.errors import ExperimentError
+from repro.faults import FaultPlan
 from repro.machine import run_simulation
 from repro.metrics.collector import RunMetrics
 from repro.workloads import (pattern1, pattern1_catalog, pattern2,
@@ -28,7 +30,14 @@ WORKLOADS = ("pattern1", "pattern2", "pattern3")
 
 @dataclass(frozen=True)
 class PointSpec:
-    """One simulation point, fully described by plain data."""
+    """One simulation point, fully described by plain data.
+
+    ``fault_plan_json`` carries an optional serialized
+    :class:`~repro.faults.FaultPlan` (``plan.to_json()``): plans are
+    kept in their JSON form so the spec stays hashable, picklable and
+    checkpoint-serialisable; the plan object is rebuilt inside the
+    worker.
+    """
 
     workload: str                 # one of WORKLOADS
     scheduler: str
@@ -37,6 +46,7 @@ class PointSpec:
     seed: int = 1
     num_hots: int = 8             # pattern2/3 hot-set size
     error_sigma: float = 0.0      # pattern1 declared-cost error
+    fault_plan_json: Optional[str] = None
 
     def build(self) -> Tuple[object, object, SimulationParameters]:
         """Resolve (workload_fn, catalog, parameters) for this point."""
@@ -62,34 +72,60 @@ class PointSpec:
             num_partitions=num_partitions)
         return workload, catalog, params
 
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The point's fault plan, rebuilt from its JSON form."""
+        if self.fault_plan_json is None:
+            return None
+        return FaultPlan.from_json(self.fault_plan_json)
+
+    def with_fault_plan(self, plan: Optional[FaultPlan]) -> "PointSpec":
+        """A copy of this spec carrying ``plan`` (None clears it)."""
+        from dataclasses import replace
+        return replace(self, fault_plan_json=None if plan is None
+                       else plan.to_json())
+
 
 def run_point(spec: PointSpec) -> RunMetrics:
     """Execute one point (top-level so it pickles for pool workers)."""
     workload, catalog, params = spec.build()
-    return run_simulation(params, workload, catalog=catalog).metrics
+    return run_simulation(params, workload, catalog=catalog,
+                          fault_plan=spec.fault_plan()).metrics
 
 
 def run_points(specs: Sequence[PointSpec],
-               processes: Optional[int] = None) -> List[RunMetrics]:
+               processes: Optional[int] = None,
+               progress: Optional[Callable[[PointSpec, RunMetrics],
+                                           None]] = None,
+               ) -> List[RunMetrics]:
     """Run every point, optionally across a process pool.
 
     Results come back in input order regardless of completion order.
     ``processes=None`` uses ``os.cpu_count()``; ``processes=1`` runs
-    in-process (exact same results — each point is an isolated,
-    seed-deterministic simulation either way).
+    in-process.  Either way the results are bit-identical: each point is
+    an isolated simulation seeded by its own spec.  Execution delegates
+    to :func:`repro.experiments.parallel.run_tasks` — the same executor
+    the checkpointed sweep runner uses.  ``progress`` fires once per
+    finished point (in completion order under a pool).
     """
+    from repro.experiments.parallel import SweepTask, run_tasks
+
     specs = list(specs)
     if not specs:
         return []
-    if processes == 1 or len(specs) == 1:
-        return [run_point(spec) for spec in specs]
-    try:
-        import multiprocessing
-        with multiprocessing.Pool(processes=processes) as pool:
-            return pool.map(run_point, specs)
-    except (OSError, ValueError):
-        # No pool available (restricted environment): degrade gracefully.
-        return [run_point(spec) for spec in specs]
+    # Explicit-seed mode: each spec keeps its own seed and the key is
+    # simply its input position (run_sweep derives seeds instead).
+    tasks = [SweepTask(spec=spec, replication=0, key=str(index),
+                       seed=spec.seed)
+             for index, spec in enumerate(specs)]
+    on_result = None
+    if progress is not None:
+        callback = progress
+
+        def on_result(task: "SweepTask", metrics: RunMetrics) -> None:
+            callback(task.spec, metrics)
+
+    results = run_tasks(tasks, max_workers=processes, on_result=on_result)
+    return [results[str(index)] for index in range(len(specs))]
 
 
 def sweep_specs(workload: str, schedulers: Sequence[str],

@@ -1,10 +1,18 @@
-"""Tests for the parallel point runner."""
+"""Tests for the point runner (execution now lives in experiments.parallel).
+
+Determinism and checkpointing of the underlying executor are covered by
+``test_parallel_runner.py`` / ``test_sweep_checkpoint.py``; this module
+tests the PointSpec surface itself.
+"""
+
+import pickle
 
 import pytest
 
 from repro.errors import ExperimentError
 from repro.experiments.runner import (PointSpec, group_by_scheduler,
                                       run_point, run_points, sweep_specs)
+from repro.faults import FaultPlan, StepAbort
 
 TINY = dict(sim_clocks=50_000.0, seed=4)
 
@@ -35,6 +43,31 @@ class TestPointSpec:
         spec = PointSpec("pattern1", "CHAIN", 0.4, error_sigma=0.5, **TINY)
         workload, _, _ = spec.build()
         assert workload.error_sigma == 0.5
+
+
+class TestFaultPlanField:
+    def test_round_trip(self):
+        plan = FaultPlan(abort_rate=0.25,
+                         step_aborts=(StepAbort(3, 1, attempt=1),))
+        spec = PointSpec("pattern1", "K2", 0.4, **TINY).with_fault_plan(plan)
+        assert spec.fault_plan() == plan
+        assert spec.with_fault_plan(None).fault_plan() is None
+
+    def test_default_is_no_plan(self):
+        assert PointSpec("pattern1", "K2", 0.4, **TINY).fault_plan() is None
+
+    def test_spec_with_plan_stays_picklable_and_hashable(self):
+        """The JSON form keeps specs shippable to pool workers."""
+        spec = PointSpec("pattern1", "K2", 0.4, **TINY).with_fault_plan(
+            FaultPlan(abort_rate=0.1))
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert hash(spec) == hash(spec)
+
+    def test_plan_applies_during_run(self):
+        spec = PointSpec("pattern1", "CHAIN", 0.5, **TINY).with_fault_plan(
+            FaultPlan(abort_rate=0.4))
+        metrics = run_point(spec)
+        assert metrics.fault_aborts > 0
 
 
 class TestRunPoints:

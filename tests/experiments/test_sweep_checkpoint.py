@@ -1,0 +1,174 @@
+"""Checkpoint/resume correctness for the sweep runner.
+
+Interrupt-and-resume must equal never-interrupted, finished work must
+never re-execute, and anything that would silently merge incomparable
+results — corruption, a code change, a different grid — must fail loudly
+with :class:`~repro.errors.CheckpointError`.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError, SweepInterrupted
+from repro.experiments import parallel
+from repro.experiments.parallel import (SweepSpec, read_checkpoint,
+                                        run_sweep, sweep_status)
+from repro.experiments.runner import PointSpec
+
+CLOCKS = 15_000.0
+
+
+def _sweep(replications=2):
+    points = tuple(PointSpec("pattern1", scheduler, 0.5, sim_clocks=CLOCKS)
+                   for scheduler in ("CHAIN", "K2"))
+    return SweepSpec(points=points, root_seed=11, replications=replications)
+
+
+def _dicts(result):
+    return {key: metrics.as_dict() for key, metrics in result.results.items()}
+
+
+class TestResume:
+    def test_interrupt_then_resume_equals_uninterrupted(self, tmp_path):
+        sweep = _sweep()          # 2 points x 2 replications = 4 tasks
+        ckpt = tmp_path / "grid.jsonl"
+        with pytest.raises(SweepInterrupted, match="2/4 tasks"):
+            run_sweep(sweep, checkpoint=ckpt, task_budget=2)
+        resumed = run_sweep(sweep, checkpoint=ckpt)
+        assert resumed.reused == 2 and resumed.executed == 2
+        uninterrupted = run_sweep(sweep)
+        assert _dicts(resumed) == _dicts(uninterrupted)
+
+    def test_finished_sweep_never_reexecutes(self, tmp_path, monkeypatch):
+        sweep = _sweep(replications=1)
+        ckpt = tmp_path / "grid.jsonl"
+        first = run_sweep(sweep, checkpoint=ckpt)
+        assert first.executed == 2 and first.reused == 0
+
+        def forbidden(task):
+            raise AssertionError(f"re-executed finished task {task.key}")
+
+        monkeypatch.setattr(parallel, "_execute_task", forbidden)
+        again = run_sweep(sweep, checkpoint=ckpt)
+        assert again.executed == 0 and again.reused == 2
+        assert _dicts(again) == _dicts(first)
+
+    def test_resume_with_more_workers_is_identical(self, tmp_path):
+        sweep = _sweep()
+        ckpt = tmp_path / "grid.jsonl"
+        with pytest.raises(SweepInterrupted):
+            run_sweep(sweep, checkpoint=ckpt, max_workers=1, task_budget=1)
+        resumed = run_sweep(sweep, checkpoint=ckpt, max_workers=4)
+        assert _dicts(resumed) == _dicts(run_sweep(sweep))
+
+    def test_progress_fires_only_for_new_tasks(self, tmp_path):
+        sweep = _sweep(replications=1)
+        ckpt = tmp_path / "grid.jsonl"
+        run_sweep(sweep, checkpoint=ckpt)
+        lines = []
+        run_sweep(sweep, checkpoint=ckpt, progress=lines.append)
+        assert lines == []
+
+
+class TestRejection:
+    def test_stale_fingerprint_rejected(self, tmp_path):
+        sweep = _sweep(replications=1)
+        ckpt = tmp_path / "grid.jsonl"
+        with pytest.raises(SweepInterrupted):
+            run_sweep(sweep, checkpoint=ckpt, task_budget=1)
+        lines = ckpt.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["fingerprint"] = "0" * 64   # as if the simulator changed
+        ckpt.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(CheckpointError, match="stale checkpoint"):
+            run_sweep(sweep, checkpoint=ckpt)
+
+    def test_checkpoint_of_other_sweep_rejected(self, tmp_path):
+        ckpt = tmp_path / "grid.jsonl"
+        run_sweep(_sweep(replications=1), checkpoint=ckpt)
+        other = SweepSpec(points=(
+            PointSpec("pattern1", "C2PL", 0.5, sim_clocks=CLOCKS),),
+            root_seed=11)
+        with pytest.raises(CheckpointError, match="stale checkpoint"):
+            run_sweep(other, checkpoint=ckpt)
+
+    def test_corrupt_midfile_line_rejected(self, tmp_path):
+        sweep = _sweep(replications=1)
+        ckpt = tmp_path / "grid.jsonl"
+        run_sweep(sweep, checkpoint=ckpt)
+        lines = ckpt.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]   # mangle a middle line
+        ckpt.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="not\\s+JSON"):
+            run_sweep(sweep, checkpoint=ckpt)
+
+    def test_missing_header_rejected(self, tmp_path):
+        ckpt = tmp_path / "grid.jsonl"
+        ckpt.write_text('{"kind": "result", "key": "x", "metrics": {}}\n')
+        with pytest.raises(CheckpointError, match="header"):
+            read_checkpoint(ckpt)
+
+    def test_empty_file_rejected(self, tmp_path):
+        ckpt = tmp_path / "grid.jsonl"
+        ckpt.write_text("")
+        with pytest.raises(CheckpointError, match="empty"):
+            read_checkpoint(ckpt)
+
+    def test_duplicate_task_rejected(self, tmp_path):
+        sweep = _sweep(replications=1)
+        ckpt = tmp_path / "grid.jsonl"
+        run_sweep(sweep, checkpoint=ckpt)
+        lines = ckpt.read_text().splitlines()
+        ckpt.write_text("\n".join(lines + [lines[1]]) + "\n")
+        with pytest.raises(CheckpointError, match="recorded twice"):
+            read_checkpoint(ckpt)
+
+    def test_format_bump_rejected(self, tmp_path):
+        sweep = _sweep(replications=1)
+        ckpt = tmp_path / "grid.jsonl"
+        run_sweep(sweep, checkpoint=ckpt)
+        lines = ckpt.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["format"] = 999
+        ckpt.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(CheckpointError, match="format"):
+            read_checkpoint(ckpt)
+
+
+class TestKillDebris:
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        """A kill mid-append leaves half a line; the task just re-runs."""
+        sweep = _sweep(replications=1)
+        ckpt = tmp_path / "grid.jsonl"
+        run_sweep(sweep, checkpoint=ckpt)
+        text = ckpt.read_text()
+        ckpt.write_text(text[: len(text) - len(text.splitlines()[-1]) // 2 - 1])
+        resumed = run_sweep(sweep, checkpoint=ckpt)
+        assert resumed.reused == 1 and resumed.executed == 1
+        assert _dicts(resumed) == _dicts(run_sweep(sweep))
+
+
+class TestStatus:
+    def test_status_reports_progress_and_freshness(self, tmp_path):
+        sweep = _sweep()
+        ckpt = tmp_path / "grid.jsonl"
+        with pytest.raises(SweepInterrupted):
+            run_sweep(sweep, checkpoint=ckpt, task_budget=3)
+        status = sweep_status(ckpt)
+        assert status["total_tasks"] == 4
+        assert status["done_tasks"] == 3
+        assert status["points"] == 2
+        assert status["replications"] == 2
+        assert status["root_seed"] == 11
+        assert status["stale"] is False
+
+    def test_status_flags_stale(self, tmp_path):
+        sweep = _sweep(replications=1)
+        ckpt = tmp_path / "grid.jsonl"
+        run_sweep(sweep, checkpoint=ckpt)
+        lines = ckpt.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["fingerprint"] = "0" * 64
+        ckpt.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        assert sweep_status(ckpt)["stale"] is True

@@ -1,12 +1,34 @@
-"""The invariant-checking wrapper and the single-case driver."""
+"""The invariant-checking wrapper and the case drivers (serial/parallel).
 
-from typing import List, Optional, Tuple
+Parallel mode
+-------------
+``REPRO_PROP_JOBS=N`` (or an explicit ``jobs=`` argument to
+:func:`check_cases`) fans property cases over N worker processes.  Each
+case is a pure function of the master seed and its name — exactly the
+property the serial harness already relies on for replay — so verdicts
+are identical for every jobs value and come back in input order; the
+equivalence is itself regression-tested in
+``tests/prop/test_parallel_harness.py``.  The default (unset, or 1)
+keeps the harness fully in-process.
+"""
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.invariants import check_consistency
 from repro.core.schedulers import make_scheduler
 from repro.faults import FaultPlan
 from repro.machine.cluster import Cluster, SimulationResult
 from repro.machine.trace import EventType, Tracer, validate_trace
+
+
+def prop_jobs() -> int:
+    """Worker count for the property harness (REPRO_PROP_JOBS, min 1)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_PROP_JOBS", "1")))
+    except ValueError:
+        return 1
 
 
 class InvariantCheckingScheduler:
@@ -85,6 +107,72 @@ def _assert_commit_finality(tracer: Tracer, name: str) -> None:
         elif event.tid in committed_at:
             raise AssertionError(
                 f"{name}: T{event.tid} saw {event.kind.value} after commit")
+
+
+@dataclass(frozen=True)
+class CaseVerdict:
+    """The outcome of one property case — comparable across processes."""
+
+    name: str
+    scheduler: str
+    case_seed: int      # the simulation seed the case derived
+    ok: bool
+    error: str = field(default="", compare=True)
+
+
+def check_case(scheduler: str, name: str) -> CaseVerdict:
+    """Run one generated case and every harness assertion over it.
+
+    Captures assertion failures as a verdict instead of raising, so the
+    parallel mode can ship results across process boundaries; the case
+    name alone replays the exact run (see tests/prop/gen.py).
+    """
+    from tests.prop import gen
+
+    rng = gen.case_rng(name)
+    workload = gen.make_workload(rng)
+    plan = gen.make_fault_plan(rng)
+    params = gen.make_params(rng, scheduler)
+    try:
+        result, proxy = run_case(params, workload, plan)
+        assert proxy.checks > 0, f"{name}: proxy never exercised"
+        assert_invariants(result, name)
+        for tid, commits, aborts in lifecycle_counts(result.tracer):
+            assert commits <= 1, f"{name}: T{tid} committed {commits} times"
+            if plan is None:
+                assert aborts == 0 or scheduler == "2PL", (
+                    f"{name}: T{tid} aborted without a fault plan")
+    except AssertionError as exc:
+        return CaseVerdict(name, scheduler, params.seed, False, str(exc))
+    return CaseVerdict(name, scheduler, params.seed, True)
+
+
+def _check_case_pair(pair: Tuple[str, str]) -> CaseVerdict:
+    """Tuple adapter (top-level so it pickles for pool workers)."""
+    return check_case(pair[0], pair[1])
+
+
+def check_cases(pairs: Sequence[Tuple[str, str]],
+                jobs: Optional[int] = None) -> List[CaseVerdict]:
+    """Run (scheduler, case-name) pairs, optionally across processes.
+
+    ``jobs=None`` reads ``REPRO_PROP_JOBS`` (default 1 = serial).
+    Verdicts come back in input order; they are identical for every
+    jobs value because each case is a pure function of the master seed
+    and its name.  If a pool cannot be created the harness silently
+    runs in-process instead.
+    """
+    pairs = list(pairs)
+    jobs = prop_jobs() if jobs is None else max(1, jobs)
+    if jobs > 1 and len(pairs) > 1:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pairs))) \
+                    as pool:
+                return list(pool.map(_check_case_pair, pairs))
+        except (OSError, ValueError, ImportError):
+            pass  # restricted platform: degrade to in-process
+    return [_check_case_pair(pair) for pair in pairs]
 
 
 def lifecycle_counts(tracer: Tracer) -> List[Tuple[int, int, int]]:

@@ -15,8 +15,7 @@ A failure message carries the case name, which replays the exact run.
 import pytest
 
 from tests.prop import gen
-from tests.prop.harness import (assert_invariants, lifecycle_counts,
-                                run_case)
+from tests.prop.harness import check_cases
 
 SCHEDULERS = ["CHAIN", "K2", "C2PL", "2PL"]
 CASES_PER_SCHEDULER = 500
@@ -24,26 +23,13 @@ CHUNK = 50
 CHUNKS = CASES_PER_SCHEDULER // CHUNK
 
 
-def run_and_check(name: str, scheduler: str) -> None:
-    rng = gen.case_rng(name)
-    workload = gen.make_workload(rng)
-    plan = gen.make_fault_plan(rng)
-    params = gen.make_params(rng, scheduler)
-    result, proxy = run_case(params, workload, plan)
-    assert proxy.checks > 0, f"{name}: proxy never exercised"
-    assert_invariants(result, name)
-    for tid, commits, aborts in lifecycle_counts(result.tracer):
-        assert commits <= 1, f"{name}: T{tid} committed {commits} times"
-        if plan is None:
-            assert aborts == 0 or scheduler == "2PL", (
-                f"{name}: T{tid} aborted without a fault plan")
-
-
 @pytest.mark.parametrize("scheduler", SCHEDULERS)
 @pytest.mark.parametrize("chunk", range(CHUNKS))
 def test_invariants_hold_on_random_runs(scheduler, chunk):
-    for i in range(chunk * CHUNK, (chunk + 1) * CHUNK):
-        run_and_check(f"{scheduler}-case-{i}", scheduler)
+    pairs = [(scheduler, f"{scheduler}-case-{i}")
+             for i in range(chunk * CHUNK, (chunk + 1) * CHUNK)]
+    failed = [v for v in check_cases(pairs) if not v.ok]
+    assert failed == [], "\n".join(v.error for v in failed)
 
 
 def test_master_seed_is_visible():
