@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 
 def ascii_chart(series: Dict[str, Sequence[Tuple[float, float]]],
@@ -34,8 +34,8 @@ def ascii_chart(series: Dict[str, Sequence[Tuple[float, float]]],
         y_hi = y_lo + 1
 
     grid = [[" "] * width for _ in range(height)]
-    used_markers = set()
-    legend = []
+    used_markers: Set[str] = set()
+    legend: List[str] = []
     for name, values in points.items():
         marker = next((ch for ch in name.upper() + "0123456789*"
                        if ch not in used_markers and not ch.isspace()), "*")
@@ -47,7 +47,7 @@ def ascii_chart(series: Dict[str, Sequence[Tuple[float, float]]],
             row = round((y_clamped - y_lo) / (y_hi - y_lo) * (height - 1))
             grid[height - 1 - row][col] = marker
 
-    lines = []
+    lines: List[str] = []
     if y_label:
         lines.append(y_label)
     top = f"{y_hi:.3g}"

@@ -16,7 +16,7 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
                       for value in row])
     widths = [max(len(row[col]) for row in cells)
               for col in range(len(headers))]
-    lines = []
+    lines: List[str] = []
     for index, row in enumerate(cells):
         lines.append("  ".join(cell.rjust(width)
                                for cell, width in zip(row, widths)))

@@ -250,7 +250,7 @@ class Process(Event):
             raise EngineStateError("a process cannot interrupt itself")
         event = Event(self.env)
         event._ok = False
-        event._value = Interrupt(cause)
+        event._value = Interrupt(cause)  # repro-lint: disable=RL014 -- deliberately constructs a pre-triggered event: it is fresh and unshared, so the single-trigger guard succeed()/fail() enforce cannot be violated here
         event._defused = True
         # Detach from whatever the process currently waits on.
         target = self._target
@@ -387,7 +387,7 @@ class Environment:
                 f"timeout_until({when!r}) lies in the past (now={self._now!r})")
         event = Event(self)
         event._ok = True
-        event._value = value
+        event._value = value  # repro-lint: disable=RL014 -- heap fast path: the timeout is born triggered (like Timeout.__init__) on a fresh, unshared event, so the succeed()/fail() single-trigger guard is not bypassable by anyone else
         event._when = when
         event._order = next(self._seq)
         heappush(self._queue, event)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Union
+from typing import Iterable, Iterator, Sequence, Tuple, Union
 
 from repro.experiments.experiment1 import Experiment1Result
 from repro.experiments.experiment2 import Experiment2Result
@@ -19,7 +19,8 @@ from repro.experiments.experiment4 import Experiment4Result
 PathLike = Union[str, Path]
 
 
-def _write(path: PathLike, header, rows) -> int:
+def _write(path: PathLike, header: Sequence[str],
+           rows: Iterable[Tuple[object, ...]]) -> int:
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(header)
@@ -32,7 +33,7 @@ def _write(path: PathLike, header, rows) -> int:
 
 def export_experiment1(result: Experiment1Result, path: PathLike) -> int:
     """Figures 6 and 7 as rows of (scheduler, rate, rt_s, tps, ...)."""
-    def rows():
+    def rows() -> Iterator[Tuple[object, ...]]:
         for name, curve in result.curves.items():
             for point in curve.points:
                 yield (name, point.arrival_rate_tps,
@@ -48,7 +49,7 @@ def export_experiment1(result: Experiment1Result, path: PathLike) -> int:
 
 def export_experiment2(result: Experiment2Result, path: PathLike) -> int:
     """Figure 8 as rows of (scheduler, num_hots, rate, rt_s, tps)."""
-    def rows():
+    def rows() -> Iterator[Tuple[object, ...]]:
         for num_hots, per_sched in result.curves.items():
             for name, curve in per_sched.items():
                 for point in curve.points:
@@ -62,7 +63,7 @@ def export_experiment2(result: Experiment2Result, path: PathLike) -> int:
 
 def export_experiment3(result: Experiment3Result, path: PathLike) -> int:
     """Figure 9, same shape as experiment 1's export."""
-    def rows():
+    def rows() -> Iterator[Tuple[object, ...]]:
         for name, curve in result.curves.items():
             for point in curve.points:
                 yield (name, point.arrival_rate_tps,
@@ -75,7 +76,7 @@ def export_experiment3(result: Experiment3Result, path: PathLike) -> int:
 
 def export_experiment4(result: Experiment4Result, path: PathLike) -> int:
     """Figure 10 as rows of (scheduler, sigma, rate, rt_s, tps)."""
-    def rows():
+    def rows() -> Iterator[Tuple[object, ...]]:
         for sigma, per_sched in result.curves.items():
             for name, curve in per_sched.items():
                 for point in curve.points:

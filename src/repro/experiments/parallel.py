@@ -41,7 +41,7 @@ import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import (Any, Callable, Dict, List, Mapping, Optional, Sequence,
-                    Tuple, Union)
+                    Set, Tuple, Union)
 
 from repro.engine.rng import derive_seed
 from repro.errors import CheckpointError, ExperimentError, SweepInterrupted
@@ -412,6 +412,30 @@ class SweepResult:
         return rows
 
 
+def _validate_checkpoint(header: Dict[str, Any],
+                         recorded: Dict[str, RunMetrics],
+                         fingerprint: str,
+                         expected: Set[str],
+                         path: Path) -> None:
+    """Reject a loaded checkpoint unless it belongs to exactly this sweep.
+
+    Split out of :func:`run_sweep` so the loaded -> validated -> merged
+    protocol is a visible call sequence (RL016 checks it): results from
+    :func:`read_checkpoint` must pass through here before they may be
+    merged into the sweep's ``done`` map.
+    """
+    if header.get("fingerprint") != fingerprint:
+        raise CheckpointError(
+            f"stale checkpoint {path}: it was written for a "
+            "different sweep, configuration or code version "
+            "(fingerprint mismatch); delete it to start over")
+    unknown = set(recorded) - expected
+    if unknown:
+        raise CheckpointError(
+            f"checkpoint {path} contains {len(unknown)} task(s) "
+            "not in this sweep")
+
+
 def run_sweep(sweep: SweepSpec,
               max_workers: Optional[int] = 1,
               checkpoint: Optional[Union[str, Path]] = None,
@@ -436,18 +460,10 @@ def run_sweep(sweep: SweepSpec,
         path = Path(checkpoint)
         if path.exists():
             header, recorded = read_checkpoint(path)
-            if header.get("fingerprint") != fingerprint:
-                raise CheckpointError(
-                    f"stale checkpoint {path}: it was written for a "
-                    "different sweep, configuration or code version "
-                    "(fingerprint mismatch); delete it to start over")
             expected = {t.key for t in tasks}
-            unknown = set(recorded) - expected
-            if unknown:
-                raise CheckpointError(
-                    f"checkpoint {path} contains {len(unknown)} task(s) "
-                    "not in this sweep")
-            done = recorded
+            _validate_checkpoint(header, recorded, fingerprint,
+                                 expected, path)
+            done.update(recorded)
         else:
             path.parent.mkdir(parents=True, exist_ok=True)
             path.write_text(_header_line(sweep, fingerprint) + "\n")

@@ -2,14 +2,17 @@
 
 from __future__ import annotations
 
+from typing import Mapping
+
 from repro.analysis import ascii_chart, format_series_table
+from repro.experiments.base import SchedulerCurve
 from repro.experiments.experiment1 import Experiment1Result
 from repro.experiments.experiment2 import Experiment2Result
 from repro.experiments.experiment3 import Experiment3Result
 from repro.experiments.experiment4 import Experiment4Result
 
 
-def _rt_chart(curves, title: str) -> str:
+def _rt_chart(curves: Mapping[str, SchedulerCurve], title: str) -> str:
     series = {
         name: list(zip(curve.arrival_rates, curve.response_times_seconds))
         for name, curve in curves.items()}

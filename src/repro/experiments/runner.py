@@ -14,12 +14,13 @@ alike.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SimulationParameters
 from repro.errors import ExperimentError
 from repro.faults import FaultPlan
-from repro.machine import run_simulation
+from repro.machine import Catalog, run_simulation
+from repro.machine.cluster import WorkloadFn
 from repro.metrics.collector import RunMetrics
 from repro.workloads import (pattern1, pattern1_catalog, pattern2,
                              pattern2_catalog, pattern3, pattern3_catalog)
@@ -48,7 +49,7 @@ class PointSpec:
     error_sigma: float = 0.0      # pattern1 declared-cost error
     fault_plan_json: Optional[str] = None
 
-    def build(self) -> Tuple[object, object, SimulationParameters]:
+    def build(self) -> Tuple[WorkloadFn, Catalog, SimulationParameters]:
         """Resolve (workload_fn, catalog, parameters) for this point."""
         if self.workload == "pattern1":
             workload = pattern1(16, error_sigma=self.error_sigma)
@@ -117,19 +118,21 @@ def run_points(specs: Sequence[PointSpec],
     tasks = [SweepTask(spec=spec, replication=0, key=str(index),
                        seed=spec.seed)
              for index, spec in enumerate(specs)]
-    on_result = None
+    on_result: Optional[Callable[[SweepTask, RunMetrics], None]] = None
     if progress is not None:
         callback = progress
 
-        def on_result(task: "SweepTask", metrics: RunMetrics) -> None:
+        def _notify(task: SweepTask, metrics: RunMetrics) -> None:
             callback(task.spec, metrics)
 
+        on_result = _notify
     results = run_tasks(tasks, max_workers=processes, on_result=on_result)
     return [results[str(index)] for index in range(len(specs))]
 
 
 def sweep_specs(workload: str, schedulers: Sequence[str],
-                arrival_rates: Sequence[float], **kwargs) -> List[PointSpec]:
+                arrival_rates: Sequence[float],
+                **kwargs: Any) -> List[PointSpec]:
     """The cross product schedulers x rates as PointSpecs."""
     return [PointSpec(workload=workload, scheduler=scheduler,
                       arrival_rate_tps=rate, **kwargs)

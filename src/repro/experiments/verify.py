@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.config import SimulationParameters
 from repro.machine import Catalog, run_simulation
+from repro.machine.cluster import WorkloadFn
 from repro.workloads import (pattern1, pattern1_catalog, pattern2,
                              pattern2_catalog, pattern3, pattern3_catalog)
 
@@ -28,7 +29,8 @@ class ClaimCheck:
     evidence: str
 
 
-def _tps(scheduler: str, workload, catalog, rate: float,
+def _tps(scheduler: str, workload: WorkloadFn,
+         catalog: Optional[Catalog], rate: float,
          num_partitions: int, sim_clocks: float, seed: int,
          declustered: bool = False) -> float:
     if declustered:
@@ -106,7 +108,7 @@ def verify_paper_claims(sim_clocks: float = 200_000.0,
     # -- Experiment 4: erroneous declarations ---------------------------------------
     note("experiment 4 battery")
     robust = True
-    evidence = []
+    evidence: List[str] = []
     for name in ("CHAIN", "K2"):
         exact = _tps(name, pattern1(16), pattern1_catalog(), 0.6, 16,
                      sim_clocks, seed)

@@ -7,21 +7,23 @@ does not exist, or an unreadable baseline).
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from repro.lint.baseline import filter_new, load_baseline, write_baseline
 from repro.lint.engine import lint_paths, render_json, render_text
 from repro.lint.model import all_rules
 from repro.lint.sarif import render_sarif
+from repro.lint.typestate import render_table
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Project-specific static analysis for the WTPG core "
-                    "(rules RL001-RL012; see docs/lint.md).")
+                    "(rules RL001-RL016; see docs/lint.md).")
     parser.add_argument(
         "paths", nargs="*", default=["src"], metavar="PATH",
         help="files or directories to lint (default: src)")
@@ -53,7 +55,43 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit")
+    parser.add_argument(
+        "--explain", metavar="RULE", default=None,
+        help="print one rule's catalogue entry — and, for the typestate "
+             "rules RL013-RL016, the protocol's state-machine table — "
+             "then exit")
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help="report violations only in files git sees as modified "
+             "(staged, unstaged or untracked); the analysis itself "
+             "stays whole-program, so interprocedural rules still see "
+             "every file under PATH")
     return parser
+
+
+def _git_changed_files() -> Optional[Set[Path]]:
+    """Files ``git status`` reports as touched, as resolved paths.
+
+    Returns None (usage error) outside a git work tree.  Renames report
+    their new name; deleted files resolve to nothing reportable, which
+    is exactly right — there is no line left to point at.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=all"],
+            capture_output=True, text=True, check=True).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    changed: Set[Path] = set()
+    for line in out.splitlines():
+        if len(line) < 4:
+            continue
+        name = line[3:]
+        if " -> " in name:
+            name = name.split(" -> ", 1)[1]
+        name = name.strip().strip('"')
+        changed.add(Path(name).resolve())
+    return changed
 
 
 def _parse_rule_list(raw: str, known: Sequence[str],
@@ -81,6 +119,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for rule in rules:
             print(f"{rule.rule_id}  {rule.summary}")
         return 0
+
+    if args.explain is not None:
+        wanted = args.explain.strip().upper()
+        for rule in rules:
+            if rule.rule_id == wanted:
+                print(f"{rule.rule_id}  {rule.summary}")
+                spec = getattr(rule, "spec", None)
+                if spec is not None:
+                    print()
+                    print(render_table(spec))
+                return 0
+        print(f"repro-lint: --explain names an unknown rule: {wanted} "
+              f"(known: {', '.join(r.rule_id for r in rules)})",
+              file=sys.stderr)
+        return 2
 
     known = [rule.rule_id for rule in rules]
     if args.select is not None:
@@ -114,7 +167,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         paths.append(path)
 
+    changed: Optional[Set[Path]] = None
+    if args.changed_only:
+        if args.write_baseline is not None:
+            # A baseline recorded from a slice of the tree would
+            # grandfather only what happened to be dirty at the time.
+            print("repro-lint: --changed-only cannot combine with "
+                  "--write-baseline", file=sys.stderr)
+            return 2
+        changed = _git_changed_files()
+        if changed is None:
+            print("repro-lint: --changed-only requires git and a work "
+                  "tree", file=sys.stderr)
+            return 2
+
     violations, runner = lint_paths(paths, rules, jobs=args.jobs)
+
+    elided = 0
+    if changed is not None:
+        before = len(violations)
+        violations = [v for v in violations
+                      if Path(v.file).resolve() in changed]
+        elided = before - len(violations)
 
     if args.write_baseline is not None:
         write_baseline(Path(args.write_baseline), violations)
@@ -150,6 +224,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if grandfathered:
             text += (f"\nrepro-lint: {grandfathered} baselined violation"
                      f"{'s' if grandfathered != 1 else ''} suppressed")
+        if elided:
+            text += (f"\nrepro-lint: {elided} violation"
+                     f"{'s' if elided != 1 else ''} in unchanged files "
+                     "not shown (--changed-only)")
         print(text)
     return 1 if violations else 0
 

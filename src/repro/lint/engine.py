@@ -1,13 +1,15 @@
 """File collection, rule dispatch and reporting for repro-lint.
 
-Since the interprocedural rules (RL009–RL012) arrived, a lint run has
+Since the whole-program rules arrived (the interprocedural layer
+RL009–RL012, then the typestate layer RL013–RL016), a lint run has
 two phases: every file of the invocation is parsed first and assembled
 into one :class:`repro.lint.project.Project` (call graph + function
-summaries), then the rules run file by file — plain :class:`Rule`
-subclasses see only their :class:`FileContext`, while
+summaries + the per-run analysis cache the typestate transition
+relations memoise into), then the rules run file by file — plain
+:class:`Rule` subclasses see only their :class:`FileContext`, while
 :class:`ProjectRule` subclasses also receive the project.  Single-file
 entry points (``check_source``) build a one-file project, so fixture
-tests exercise the interprocedural rules without touching disk.
+tests exercise the whole-program rules without touching disk.
 
 ``--jobs N`` parallelism lives here too: each worker process parses the
 full entry set once (the project must be whole-program in every
@@ -25,6 +27,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import repro.lint.flow_rules  # noqa: F401  (imported for rule registration)
 import repro.lint.rules  # noqa: F401  (imported for rule registration)
+import repro.lint.typestate  # noqa: F401  (imported for rule registration)
 from repro.lint.model import (FileContext, ProjectRule, Rule, Violation,
                               all_rules)
 from repro.lint.project import Project

@@ -157,7 +157,7 @@ class ControlNode:
                     break
                 self._trace(EventType.ADMISSION_REJECTED, txn,
                             reason=response.reason)
-                txn.reset_for_retry()
+                txn.reset_for_retry()  # repro-lint: disable=RL013 -- an admission-rejected BAT never started: this re-arms the attempt counter for resubmission; "restart only from aborted" governs BATs that actually ran
                 yield env.timeout(params.retry_delay)
             yield from self._cpu_work(params.startup_time)
             txn.start_time = env.now

@@ -23,7 +23,7 @@ def batch_means(values: Sequence[float], num_batches: int = 10) -> List[float]:
         raise ExperimentError(
             f"cannot form {num_batches} batches from {n} values")
     size = n // num_batches
-    means = []
+    means: List[float] = []
     for b in range(num_batches):
         chunk = values[b * size:(b + 1) * size]
         means.append(sum(chunk) / len(chunk))

@@ -23,7 +23,7 @@ def declare_with_error(steps: Sequence[Step], streams: RandomStreams,
         raise ValueError(f"sigma must be non-negative, got {sigma}")
     if sigma == 0:
         return list(steps)
-    out = []
+    out: List[Step] = []
     for step in steps:
         x = streams.normal(stream_name, 0.0, sigma)
         declared = step.cost * (1.0 + x) if x > -1.0 else 0.0

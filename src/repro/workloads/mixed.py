@@ -19,11 +19,15 @@ on that partition for its whole lifetime — quantified in
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List
 
 from repro.core.transaction import Step, TransactionSpec
 from repro.engine.rng import RandomStreams
 from repro.errors import WorkloadError
+
+#: The workload-callable shape the cluster consumes (kept structural
+#: here: importing machine.cluster's alias would invert the layering).
+WorkloadFn = Callable[[int, RandomStreams], TransactionSpec]
 
 BAT_LABEL = "bat"
 SHORT_LABEL = "short"
@@ -32,7 +36,7 @@ SHORT_LABEL = "short"
 def short_transactions(num_partitions: int, read_cost: float = 0.05,
                        write_cost: float = 0.1,
                        write_fraction: float = 0.5,
-                       label: str = SHORT_LABEL):
+                       label: str = SHORT_LABEL) -> WorkloadFn:
     """A debit-credit-style short-transaction workload.
 
     Each job reads one random partition and, with ``write_fraction``
@@ -66,7 +70,8 @@ class MixedWorkload:
     component workloads label things.
     """
 
-    def __init__(self, bat_workload, short_workload,
+    def __init__(self, bat_workload: WorkloadFn,
+                 short_workload: WorkloadFn,
                  bat_fraction: float = 0.2) -> None:
         if not 0 <= bat_fraction <= 1:
             raise WorkloadError("bat_fraction must lie in [0, 1]")
@@ -87,7 +92,7 @@ class MixedWorkload:
         return spec
 
 
-def relabel(workload, label: str):
+def relabel(workload: WorkloadFn, label: str) -> WorkloadFn:
     """Wrap a workload so every produced spec carries ``label``."""
 
     def labelled(tid: int, streams: RandomStreams) -> TransactionSpec:

@@ -42,7 +42,7 @@ def parse_pattern(text: str) -> List[StepTemplate]:
     >>> parse_pattern("r(F1:1) -> w(F2:0.2)")
     [('r', 'F1', 1.0), ('w', 'F2', 0.2)]
     """
-    templates = []
+    templates: List[StepTemplate] = []
     for token in text.split("->"):
         token = token.strip()
         match = _PATTERN_RE.match(token)
@@ -58,7 +58,7 @@ def parse_pattern(text: str) -> List[StepTemplate]:
 def bind_pattern(tid: int, templates: Sequence[StepTemplate],
                  bindings: Dict[str, int]) -> TransactionSpec:
     """Instantiate a pattern with concrete partition ids per symbol."""
-    steps = []
+    steps: List[Step] = []
     for op, symbol, cost in templates:
         if symbol not in bindings:
             raise WorkloadError(f"no binding for pattern symbol {symbol!r}")

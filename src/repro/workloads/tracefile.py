@@ -17,7 +17,9 @@ simulator (cycling or raising when exhausted).
 from __future__ import annotations
 
 import json
-from typing import Iterable, List, Optional, Sequence
+from pathlib import Path
+from typing import (Any, Callable, Dict, Iterable, List, Optional,
+                    Sequence, Union)
 
 from repro.core.transaction import LockMode, Step, TransactionSpec
 from repro.engine.rng import RandomStreams
@@ -27,19 +29,20 @@ _OPS = {"r": LockMode.SHARED, "w": LockMode.EXCLUSIVE}
 _OP_OF = {LockMode.SHARED: "r", LockMode.EXCLUSIVE: "w"}
 
 
-def spec_to_dict(spec: TransactionSpec) -> dict:
+def spec_to_dict(spec: TransactionSpec) -> Dict[str, Any]:
     """JSON-able representation of one transaction."""
-    steps = []
+    steps: List[Dict[str, Any]] = []
     for step in spec.steps:
-        entry = {"op": _OP_OF[step.mode], "partition": step.partition,
-                 "cost": step.cost}
+        entry: Dict[str, Any] = {"op": _OP_OF[step.mode],
+                                 "partition": step.partition,
+                                 "cost": step.cost}
         if step.declared_cost != step.cost:
             entry["declared_cost"] = step.declared_cost
         steps.append(entry)
     return {"tid": spec.tid, "steps": steps}
 
 
-def spec_from_dict(raw: dict) -> TransactionSpec:
+def spec_from_dict(raw: Dict[str, Any]) -> TransactionSpec:
     """Parse one transaction from its dict form (validating everything)."""
     try:
         tid = int(raw["tid"])
@@ -60,7 +63,8 @@ def spec_from_dict(raw: dict) -> TransactionSpec:
     return TransactionSpec(tid, steps)
 
 
-def save_trace(path, specs: Iterable[TransactionSpec]) -> None:
+def save_trace(path: Union[str, Path],
+               specs: Iterable[TransactionSpec]) -> None:
     """Write transactions as JSON lines."""
     with open(path, "w") as handle:
         for spec in specs:
@@ -68,9 +72,9 @@ def save_trace(path, specs: Iterable[TransactionSpec]) -> None:
             handle.write("\n")
 
 
-def load_trace(path) -> List[TransactionSpec]:
+def load_trace(path: Union[str, Path]) -> List[TransactionSpec]:
     """Read a JSON-lines transaction trace."""
-    specs = []
+    specs: List[TransactionSpec] = []
     with open(path) as handle:
         for number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -117,7 +121,9 @@ class ReplayWorkload:
         return TransactionSpec(tid, template.steps)
 
 
-def record_workload(workload, count: int, seed: int = 0,
+def record_workload(workload: Callable[[int, RandomStreams],
+                                       TransactionSpec],
+                    count: int, seed: int = 0,
                     ) -> List[TransactionSpec]:
     """Materialise ``count`` transactions from any workload function.
 

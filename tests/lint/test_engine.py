@@ -20,10 +20,11 @@ BAD_SOURCE = (
 )
 
 
-def test_registry_holds_the_twelve_documented_rules():
+def test_registry_holds_the_sixteen_documented_rules():
     assert [rule.rule_id for rule in all_rules()] == [
         "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
-        "RL007", "RL008", "RL009", "RL010", "RL011", "RL012"]
+        "RL007", "RL008", "RL009", "RL010", "RL011", "RL012",
+        "RL013", "RL014", "RL015", "RL016"]
     assert all(rule.summary for rule in all_rules())
 
 
@@ -49,7 +50,8 @@ def test_json_report_schema():
     assert payload["files_checked"] == 1
     assert payload["rules"] == ["RL001", "RL002", "RL003", "RL004",
                                 "RL005", "RL006", "RL007", "RL008",
-                                "RL009", "RL010", "RL011", "RL012"]
+                                "RL009", "RL010", "RL011", "RL012",
+                                "RL013", "RL014", "RL015", "RL016"]
     assert len(payload["violations"]) == 1
     entry = payload["violations"][0]
     assert set(entry) == {"rule", "file", "line", "col", "message"}
@@ -106,7 +108,8 @@ def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
-                    "RL007", "RL008", "RL009", "RL010", "RL011", "RL012"):
+                    "RL007", "RL008", "RL009", "RL010", "RL011", "RL012",
+                    "RL013", "RL014", "RL015", "RL016"):
         assert rule_id in out
 
 
