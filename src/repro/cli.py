@@ -87,6 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--rate", type=float, default=0.5)
     run.add_argument("--clocks", type=float, default=400_000)
     run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--control-nodes", type=int, default=1,
+                     help="shard the control plane over N control nodes "
+                          "(partition p -> CN p mod N; cross-shard BATs "
+                          "commit by 2PC, see docs/control_plane.md)")
     run.add_argument("--faults", type=str, default=None, metavar="PLAN.json",
                      help="fault-injection plan (JSON, see docs/faults.md)")
 
@@ -173,7 +177,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     params = SimulationParameters(scheduler=args.scheduler,
                                   arrival_rate_tps=args.rate,
                                   sim_clocks=args.clocks, seed=args.seed,
-                                  num_partitions=16)
+                                  num_partitions=16,
+                                  num_control_nodes=args.control_nodes)
     fault_plan = None
     if args.faults is not None:
         from repro.faults import FaultPlan
@@ -192,6 +197,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ("CN utilization", f"{m.cn_utilization:.1%}"),
         ("lock retries", m.lock_retries),
     ]
+    if args.control_nodes > 1:
+        rows += [
+            ("CN utilization (per shard)",
+             " ".join(f"{u:.1%}" for u in m.cn_utilizations)),
+            ("2PC commit rounds", m.twopc_rounds),
+        ]
+    if m.cn_crashes or m.cn_recoveries:
+        rows += [
+            ("CN crashes", m.cn_crashes),
+            ("CN recoveries", m.cn_recoveries),
+            ("log records replayed", m.recovery_records),
+            ("recovery downtime", f"{m.recovery_clocks:.0f} clocks"),
+        ]
     if fault_plan is not None:
         rows += [
             ("aborts (all causes)", m.aborts),

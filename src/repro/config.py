@@ -37,6 +37,12 @@ class SimulationParameters:
     num_partitions: int = 16
     """Total partitions; placed at node = partition_id mod num_nodes."""
 
+    num_control_nodes: int = 1
+    """Control-plane shards.  1 (the paper's machine) runs the single
+    centralized CN; >1 shards the lock table + WTPG across that many CNs
+    (partition p is controlled by CN p mod num_control_nodes) with
+    cross-shard transactions coordinated by 2PC among the CNs."""
+
     # -- timing (all in clocks; 1 clock = 1 ms) -----------------------------
     obj_time: float = 1000.0
     """Time to bulk-process one object at a data node (paper: 1 s)."""
@@ -115,6 +121,8 @@ class SimulationParameters:
             raise ConfigurationError("num_nodes must be >= 1")
         if self.num_partitions < 1:
             raise ConfigurationError("num_partitions must be >= 1")
+        if self.num_control_nodes < 1:
+            raise ConfigurationError("num_control_nodes must be >= 1")
         if self.obj_time <= 0:
             raise ConfigurationError("obj_time must be positive")
         if self.arrival_rate_tps <= 0:

@@ -63,6 +63,31 @@ class AdmissionResponse:
     reason: str = ""
 
 
+def merge_admission_responses(
+        responses: Sequence[AdmissionResponse]) -> AdmissionResponse:
+    """Merge per-shard admission outcomes into one global decision.
+
+    A sharded control plane runs the admission constraint independently
+    on every participant shard — each consults only its own slice of the
+    lock table and WTPG (its local ``E(q)``/``W`` state) — so the global
+    verdict is the conjunction: the BAT starts only if *every* shard
+    admits.  CPU costs add up (each shard genuinely spent its cost on
+    its own CPU) and the first rejecting shard's reason wins, which is
+    deterministic because shards are consulted in ascending shard id.
+    """
+    if not responses:
+        raise SchedulerError("cannot merge zero admission responses")
+    admitted = True
+    cost = 0.0
+    reason = ""
+    for response in responses:
+        cost += response.cpu_cost
+        if admitted and not response.admitted:
+            admitted = False
+            reason = response.reason
+    return AdmissionResponse(admitted, cpu_cost=cost, reason=reason)
+
+
 @dataclass
 class SchedulerStats:
     """Counters for reporting and debugging; purely observational."""
@@ -188,6 +213,10 @@ class WTPGScheduler(Scheduler):
         super().__init__()
         self.table = LockTable()
         self.wtpg = WTPG()
+        # Pair edges newly resolved by the most recent granted request —
+        # the facts a dependency log must persist to replay this
+        # scheduler's WTPG after a control-node crash.
+        self.last_resolved: Tuple[Tuple[int, int], ...] = ()
 
     # -- admission --------------------------------------------------------------
 
@@ -219,6 +248,7 @@ class WTPGScheduler(Scheduler):
     def _request_lock(self, txn: TransactionRuntime, now: float) -> LockResponse:
         step = txn.step()
         tid = txn.tid
+        self.last_resolved = ()
         if self.table.holds(tid, step.partition, step.mode):
             # Re-access of an already held (or stronger) lock: consume the
             # pending declaration if one exists for this step.
@@ -255,7 +285,7 @@ class WTPGScheduler(Scheduler):
     def _apply_grant(self, txn: TransactionRuntime,
                      implied: Sequence[Tuple[int, int]], now: float) -> None:
         self.table.grant(txn.tid, txn.current_step)
-        new_edge = False
+        newly_resolved = []
         for predecessor, successor in implied:
             pair = self.wtpg.pair(predecessor, successor)
             if pair is None:
@@ -263,9 +293,10 @@ class WTPGScheduler(Scheduler):
                     f"implied resolution T{predecessor}->T{successor} "
                     "without a pair edge")
             if not pair.resolved:
-                new_edge = True
+                newly_resolved.append((predecessor, successor))
             self.wtpg.resolve(predecessor, successor)
-        if new_edge:
+        self.last_resolved = tuple(newly_resolved)
+        if newly_resolved:
             self._on_new_precedence_edge(now)
 
     def _on_new_precedence_edge(self, now: float) -> None:

@@ -28,7 +28,7 @@ future field addition cannot silently reintroduce per-instance dicts.
 
 from __future__ import annotations
 
-from heapq import heappush, heappop
+from heapq import heapify, heappush, heappop
 from itertools import count
 from typing import (Any, Callable, Dict, Generator, Iterable, List, Optional,
                     TypeVar, Union)
@@ -76,7 +76,7 @@ class Event:
     """
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_processed",
-                 "_defused", "_when", "_order", "_dead")
+                 "_defused", "_when", "_sub", "_rank", "_order", "_dead")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -88,14 +88,30 @@ class Event:
         # yielded-on, the environment re-raises at the end of the run.
         self._defused = False
         # Slab-heap fields, set by Environment._schedule; ``_dead`` marks
-        # a lazily deleted entry that the pop loop discards.
+        # a lazily deleted entry that the pop loop discards.  ``_sub``
+        # and ``_rank`` refine same-``_when`` tie-breaking: ``_sub`` is a
+        # virtual draw instant (defaults to the scheduling instant, which
+        # leaves ordinary ordering untouched — ``_order`` is already
+        # monotone in schedule time, so (when, sub, order) ranks exactly
+        # like (when, order)) and ``_rank`` a small actor index
+        # (defaults to 0).  Together they let actors whose event *times*
+        # are pure arithmetic (the data-node quantum loops) order
+        # exact-time ties by arithmetic-only keys, independent of which
+        # server loop variant created the event first (see
+        # ``Environment.timeout_until``).
         self._when = 0.0
+        self._sub = 0.0
+        self._rank = 0
         self._order = 0
         self._dead = False
 
     def __lt__(self, other: "Event") -> bool:
         if self._when != other._when:
             return self._when < other._when
+        if self._sub != other._sub:
+            return self._sub < other._sub
+        if self._rank != other._rank:
+            return self._rank < other._rank
         return self._order < other._order
 
     @property
@@ -343,7 +359,8 @@ class AllOf(Condition):
 class Environment:
     """The simulation clock and event loop."""
 
-    __slots__ = ("_now", "_queue", "_seq", "_active_process", "_run_until")
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "_run_until",
+                 "_track", "_live", "_inert")
 
     def __init__(self, initial_time: float = 0) -> None:
         self._now = initial_time
@@ -351,6 +368,14 @@ class Environment:
         self._seq = count()
         self._active_process: Optional[Process] = None
         self._run_until = float("inf")
+        # Affect tracking (see affecting_horizon): disabled by default so
+        # runs that never batch pay only one predictable branch per
+        # schedule.  When enabled, ``_live`` mirrors every scheduled
+        # non-inert event and ``_inert`` holds (affect, order, event)
+        # entries for events declared inert via ``timeout_until``.
+        self._track = False
+        self._live: List[Event] = []
+        self._inert: List[tuple] = []
 
     @property
     def now(self) -> float:
@@ -372,7 +397,10 @@ class Environment:
         """Create an event that fires ``delay`` units from now."""
         return Timeout(self, delay, value)
 
-    def timeout_until(self, when: float, value: Any = None) -> Event:
+    def timeout_until(self, when: float, value: Any = None,
+                      affect: Optional[float] = None,
+                      sort_time: Optional[float] = None,
+                      sort_rank: Optional[int] = None) -> Event:
         """An event that fires at the *absolute* time ``when``.
 
         Equivalent to ``timeout(when - now)`` except that the firing
@@ -381,16 +409,53 @@ class Environment:
         ``when`` bit-for-bit.  The batched data-node loop relies on this
         to land its coalesced quantum boundary on the identical instant
         the reference per-quantum loop would have reached additively.
+
+        ``affect`` (only meaningful with affect tracking enabled)
+        declares the event *inert*: its own firing cannot influence any
+        other actor before the absolute time ``affect`` — the earliest
+        instant the yielding actor could produce an externally visible
+        effect (for a data node, complete a step).  Inert events are
+        excluded from :meth:`affecting_horizon` up to their ``affect``
+        bound, which must therefore be >= ``when``.
+
+        ``sort_time`` and ``sort_rank`` set the event's virtual draw
+        instant and actor rank (see ``Event._sub`` / ``Event._rank``):
+        same-``when`` events order by ``(sort_time, sort_rank)`` before
+        falling back to schedule order.  A coalescing loop passes the
+        instant at which its uncoalesced equivalent would have created
+        the event plus a stable per-actor rank, making exact-time tie
+        order a function of arithmetic quantities only — never of which
+        loop variant happened to create its event first.  ``sort_time``
+        must not exceed ``when``; defaults to ``now``.  ``sort_rank``
+        must be positive when given (rank 0 is reserved for ordinary
+        events, which keep plain schedule order among themselves).
         """
         if when < self._now:
             raise ValueError(
                 f"timeout_until({when!r}) lies in the past (now={self._now!r})")
+        if sort_time is not None and sort_time > when:
+            raise ValueError(
+                f"sort_time {sort_time!r} lies beyond the event's own "
+                f"time {when!r}")
+        if sort_rank is not None and sort_rank <= 0:
+            raise ValueError(f"sort_rank must be positive: {sort_rank!r}")
         event = Event(self)
         event._ok = True
         event._value = value  # repro-lint: disable=RL014 -- heap fast path: the timeout is born triggered (like Timeout.__init__) on a fresh, unshared event, so the succeed()/fail() single-trigger guard is not bypassable by anyone else
         event._when = when
+        event._sub = self._now if sort_time is None else sort_time
+        event._rank = 0 if sort_rank is None else sort_rank
         event._order = next(self._seq)
         heappush(self._queue, event)
+        if self._track:
+            if affect is not None:
+                if affect < when:
+                    raise ValueError(
+                        f"affect bound {affect!r} precedes the event's own "
+                        f"time {when!r}")
+                heappush(self._inert, (affect, event._order, event))
+            else:
+                heappush(self._live, event)
         return event
 
     def process(self, generator: Generator[Event, Any, Any]) -> Process:
@@ -409,8 +474,12 @@ class Environment:
 
     def _schedule(self, event: Event, delay: float = 0) -> None:
         event._when = self._now + delay
+        event._sub = self._now
+        event._rank = 0
         event._order = next(self._seq)
         heappush(self._queue, event)
+        if self._track:
+            heappush(self._live, event)
 
     def unschedule(self, event: Event) -> None:
         """Lazily remove a scheduled-but-unprocessed event from the queue.
@@ -444,6 +513,56 @@ class Environment:
         """
         when = self.peek()
         return when if when < self._run_until else self._run_until
+
+    def enable_affect_tracking(self) -> None:
+        """Start classifying events as inert/non-inert (idempotent).
+
+        Called by batched data nodes at construction; until then the
+        tracking heaps stay empty and scheduling pays only a dead
+        branch, so reference-mode and pure-engine runs are unaffected.
+        Every event already scheduled is conservatively non-inert.
+        """
+        if self._track:
+            return
+        self._track = True
+        self._live = [event for event in self._queue if not event._dead]
+        heapify(self._live)
+
+    def affecting_horizon(self) -> float:
+        """Earliest instant any *other* actor could affect the caller.
+
+        Like :meth:`horizon`, but inert events (non-completing data-node
+        quanta yielded through ``timeout_until(..., affect=...)``) are
+        counted at their declared ``affect`` bound — the earliest time
+        the sleeping actor could produce an externally visible effect —
+        instead of at their firing time.  An actor pre-playing work up
+        to this bound can therefore ignore other nodes' internal quantum
+        boundaries: everything that could actually reach it (a process
+        resumption, a completion, a fault, the run cutoff) is accounted
+        at or before the returned instant.
+        """
+        if not self._track:
+            return self.horizon()
+        best = self._run_until
+        live = self._live
+        while live:
+            head = live[0]
+            if head._dead or head._processed:
+                heappop(live)
+                continue
+            if head._when < best:
+                best = head._when
+            break
+        inert = self._inert
+        while inert:
+            affect, _, event = inert[0]
+            if event._dead or event._processed:
+                heappop(inert)
+                continue
+            if affect < best:
+                best = affect
+            break
+        return best
 
     def step(self) -> None:
         """Process exactly one event, advancing the clock to its time."""

@@ -20,11 +20,12 @@ randomness and schedules no extra events, so fault-free runs remain
 bit-identical to runs of the code before this subsystem existed.
 """
 
-from repro.faults.plan import (FaultPlan, NodeCrash, PartitionSlowdown,
-                               RetryPolicy, StepAbort)
+from repro.faults.plan import (ControlCrash, FaultPlan, NodeCrash,
+                               PartitionSlowdown, RetryPolicy, StepAbort)
 from repro.faults.injector import FaultInjector
 
 __all__ = [
+    "ControlCrash",
     "FaultInjector",
     "FaultPlan",
     "NodeCrash",

@@ -27,11 +27,13 @@ from typing import (Any, Dict, Generator, List, Optional, Tuple,
 from repro.core.transaction import (Step, TransactionRuntime,
                                     TransactionSpec)
 from repro.engine import Environment, Event, RandomStreams
-from repro.faults.plan import FaultPlan, NodeCrash, PartitionSlowdown
+from repro.faults.plan import (ControlCrash, FaultPlan, NodeCrash,
+                               PartitionSlowdown)
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only, no runtime import
     from repro.machine.data_node import DataNode
     from repro.machine.partition import Catalog
+    from repro.machine.shard import ControlPlane
     from repro.metrics.collector import MetricsCollector
     from repro.machine.trace import Tracer
 
@@ -125,6 +127,18 @@ class FaultInjector:
             if nodes:
                 env.process(self._slowdown_process(env, nodes, slowdown))
 
+    def install_control(self, env: Environment,
+                        plane: "ControlPlane") -> None:
+        """Spawn the plan's control-node crash/recovery processes.
+
+        Called only when the run uses the sharded control plane; a plan
+        whose ``control_crashes`` target shards beyond the plane's size
+        silently skips them (mirroring data-node crash handling).
+        """
+        for crash in self.plan.control_crashes:
+            if crash.cn < plane.num_shards:
+                env.process(self._cn_crash_process(env, plane, crash))
+
     @staticmethod
     def _nodes_of_partition(slowdown: PartitionSlowdown,
                             data_nodes: List["DataNode"],
@@ -150,6 +164,18 @@ class FaultInjector:
         node.recover()
         self._record("node_recovery", env.now, node=node.node_id)
 
+    def _cn_crash_process(self, env: Environment, plane: "ControlPlane",
+                          crash: ControlCrash) -> Generator[Event, Any, None]:
+        if crash.at > env.now:
+            yield env.timeout(crash.at - env.now)
+        doomed = plane.crash_shard(crash.cn)
+        self._record("cn_crash", env.now, cn=crash.cn, doomed=doomed)
+        if crash.recover_at is None:
+            return
+        yield env.timeout(crash.recover_at - env.now)
+        records = plane.recover_shard(crash.cn)
+        self._record("cn_recovery", env.now, cn=crash.cn, records=records)
+
     def _slowdown_process(self, env: Environment, nodes: List["DataNode"],
                           slowdown: PartitionSlowdown,
                           ) -> Generator[Event, Any, None]:
@@ -172,6 +198,8 @@ class FaultInjector:
         if self._tracer is not None:
             from repro.machine.trace import EventType
             trace_kind = {"node_crash": EventType.NODE_CRASHED,
-                          "node_recovery": EventType.NODE_RECOVERED}.get(kind)
+                          "node_recovery": EventType.NODE_RECOVERED,
+                          "cn_crash": EventType.CN_CRASHED,
+                          "cn_recovery": EventType.CN_RECOVERED}.get(kind)
             if trace_kind is not None:
                 self._tracer.emit(now, trace_kind, -1, **detail)

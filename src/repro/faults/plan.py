@@ -48,6 +48,33 @@ class NodeCrash:
 
 
 @dataclass(frozen=True)
+class ControlCrash:
+    """Control node (shard) ``cn`` crashes at time ``at``.
+
+    The shard's volatile scheduler state (lock table + WTPG slice) is
+    lost; transactions *coordinated* by the shard abort through the
+    restart path, while transactions merely holding locks there stall
+    until recovery.  At ``recover_at`` the shard replays its dependency
+    log into a fresh scheduler and resumes service; ``recover_at = None``
+    means the shard never comes back (its partitions stay unavailable).
+    """
+
+    cn: int
+    at: float
+    recover_at: Optional[float] = None
+
+    def validate(self) -> None:
+        if self.cn < 0:
+            raise FaultPlanError(f"crash cn must be >= 0, got {self.cn}")
+        if self.at < 0:
+            raise FaultPlanError(f"crash time must be >= 0, got {self.at}")
+        if self.recover_at is not None and self.recover_at <= self.at:
+            raise FaultPlanError(
+                f"recovery at {self.recover_at} must follow the crash "
+                f"at {self.at}")
+
+
+@dataclass(frozen=True)
 class StepAbort:
     """Abort transaction ``tid`` when it reaches step ``step``.
 
@@ -153,6 +180,7 @@ class FaultPlan:
     """
 
     crashes: Tuple[NodeCrash, ...] = ()
+    control_crashes: Tuple[ControlCrash, ...] = ()
     step_aborts: Tuple[StepAbort, ...] = ()
     slowdowns: Tuple[PartitionSlowdown, ...] = ()
     abort_rate: float = 0.0
@@ -163,6 +191,8 @@ class FaultPlan:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "control_crashes",
+                           tuple(self.control_crashes))
         object.__setattr__(self, "step_aborts", tuple(self.step_aborts))
         object.__setattr__(self, "slowdowns", tuple(self.slowdowns))
         if not 0.0 <= self.abort_rate <= 1.0:
@@ -176,7 +206,8 @@ class FaultPlan:
             raise FaultPlanError(
                 "declared_cost_factor must be positive, got "
                 f"{self.declared_cost_factor}")
-        for item in (*self.crashes, *self.step_aborts, *self.slowdowns):
+        for item in (*self.crashes, *self.control_crashes,
+                     *self.step_aborts, *self.slowdowns):
             item.validate()
         if self.retry is not None:
             self.retry.validate()
@@ -191,7 +222,8 @@ class FaultPlan:
 
     def empty(self) -> bool:
         """True when the plan injects nothing and overrides nothing."""
-        return (not self.crashes and not self.step_aborts
+        return (not self.crashes and not self.control_crashes
+                and not self.step_aborts
                 and not self.slowdowns and self.abort_rate == 0.0
                 and self.declared_cost_sigma == 0.0
                 and self.declared_cost_factor == 1.0
@@ -206,6 +238,7 @@ class FaultPlan:
     def as_dict(self) -> Dict[str, Any]:
         raw = asdict(self)
         raw["crashes"] = [asdict(c) for c in self.crashes]
+        raw["control_crashes"] = [asdict(c) for c in self.control_crashes]
         raw["step_aborts"] = [asdict(a) for a in self.step_aborts]
         raw["slowdowns"] = [asdict(s) for s in self.slowdowns]
         raw["retry"] = None if self.retry is None else asdict(self.retry)
@@ -227,6 +260,8 @@ class FaultPlan:
         try:
             data["crashes"] = tuple(
                 NodeCrash(**c) for c in data.get("crashes", ()))
+            data["control_crashes"] = tuple(
+                ControlCrash(**c) for c in data.get("control_crashes", ()))
             data["step_aborts"] = tuple(
                 StepAbort(**a) for a in data.get("step_aborts", ()))
             data["slowdowns"] = tuple(

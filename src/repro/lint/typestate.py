@@ -835,7 +835,9 @@ class BatLifecycleRule(TypestateRule):
 
     def applies_to(self, ctx: FileContext) -> bool:
         return (ctx.in_dir("core/schedulers") or ctx.in_dir("faults")
-                or ctx.is_module("repro/machine/control_node.py"))
+                or ctx.is_module("repro/machine/control_node.py")
+                or ctx.is_module("repro/machine/shard.py")
+                or ctx.is_module("repro/machine/control_log.py"))
 
 
 @register_rule

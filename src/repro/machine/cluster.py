@@ -1,14 +1,21 @@
-"""Cluster wiring: one control node, N data nodes, Poisson arrivals.
+"""Cluster wiring: control plane, N data nodes, Poisson arrivals.
 
 :func:`run_simulation` is the main entry point of the machine layer: give
 it parameters and a workload generator, get back a
 :class:`SimulationResult` with the paper's metrics.
+
+With ``num_control_nodes == 1`` and no planned control-node crashes the
+machine is exactly the paper's: one centralized
+:class:`~repro.machine.control_node.ControlNode` — the legacy code path,
+untouched, so single-CN runs stay bit-identical with earlier versions.
+Otherwise the cluster assembles a sharded
+:class:`~repro.machine.shard.ControlPlane`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Dict, Generator, Optional
 
 from repro.config import SimulationParameters
 from repro.core.history import History
@@ -20,6 +27,7 @@ from repro.faults import FaultInjector, FaultPlan
 from repro.machine.control_node import ControlNode
 from repro.machine.data_node import DataNode
 from repro.machine.partition import Catalog
+from repro.machine.shard import ControlPlane
 from repro.machine.trace import Tracer
 from repro.metrics.collector import MetricsCollector, RunMetrics
 
@@ -29,12 +37,18 @@ WorkloadFn = Callable[[int, RandomStreams], TransactionSpec]
 
 @dataclass
 class SimulationResult:
-    """Everything a run produced: metrics plus optional history/trace."""
+    """Everything a run produced: metrics plus optional history/trace.
+
+    ``scheduler`` is the centralized scheduler for single-CN runs; for
+    sharded runs it is shard 0's scheduler (or None while that shard is
+    down) and ``control_plane`` carries the full per-shard state.
+    """
 
     metrics: RunMetrics
     history: Optional[History]
-    scheduler: Scheduler
+    scheduler: Optional[Scheduler]
     tracer: Optional[Tracer] = None
+    control_plane: Optional[ControlPlane] = None
 
     @property
     def throughput_tps(self) -> float:
@@ -51,7 +65,8 @@ class SimulationResult:
           recorded (note: NODC legitimately fails this — it is the
           no-concurrency-control upper bound);
         * trace lifecycle well-formedness, when a tracer was attached;
-        * lock-table/WTPG consistency of the scheduler's final state.
+        * lock-table/WTPG consistency of the scheduler's final state —
+          for sharded runs, of every shard still (or back) alive.
         """
         if self.history is not None:
             self.history.check_lock_exclusion()
@@ -59,11 +74,19 @@ class SimulationResult:
         if self.tracer is not None:
             from repro.machine.trace import validate_trace
             validate_trace(self.tracer)
-        table = getattr(self.scheduler, "table", None)
-        wtpg = getattr(self.scheduler, "wtpg", None)
-        if table is not None and wtpg is not None:
-            from repro.core.invariants import check_consistency
-            check_consistency(table, wtpg)
+        schedulers = []
+        if self.control_plane is not None:
+            schedulers = [shard.scheduler
+                          for shard in self.control_plane.shards
+                          if shard.scheduler is not None]
+        elif self.scheduler is not None:
+            schedulers = [self.scheduler]
+        for scheduler in schedulers:
+            table = getattr(scheduler, "table", None)
+            wtpg = getattr(scheduler, "wtpg", None)
+            if table is not None and wtpg is not None:
+                from repro.core.invariants import check_consistency
+                check_consistency(table, wtpg)
 
 
 class Cluster:
@@ -74,7 +97,9 @@ class Cluster:
                  scheduler: Optional[Scheduler] = None,
                  record_history: bool = False,
                  tracer: Optional["Tracer"] = None,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
+                 fault_plan: Optional[FaultPlan] = None,
+                 scheduler_factory: Optional[Callable[[], Scheduler]] = None,
+                 ) -> None:
         self.params = params
         self.workload = workload
         self.env = Environment()
@@ -82,8 +107,10 @@ class Cluster:
         self.catalog = catalog or Catalog.uniform(
             params.num_partitions, size_objects=5.0,
             num_nodes=params.num_nodes)
-        self.scheduler = scheduler or make_scheduler(
-            params.scheduler, **params.scheduler_kwargs())
+        if scheduler_factory is None:
+            scheduler_factory = lambda: make_scheduler(  # noqa: E731
+                params.scheduler, **params.scheduler_kwargs())
+        self.scheduler_factory = scheduler_factory
         self.metrics = MetricsCollector(warmup_clocks=params.warmup_clocks)
         self.history = History() if record_history else None
         self.data_nodes = [
@@ -102,25 +129,56 @@ class Cluster:
         self.injector = (FaultInjector(fault_plan, self.streams)
                          if fault_plan is not None and not fault_plan.empty()
                          else None)
-        self.control_node = ControlNode(
-            self.env, params, self.scheduler, self.catalog, self.data_nodes,
-            self.metrics, history=self.history, tracer=tracer,
-            injector=self.injector)
+        # Single-CN fault-free-of-CN-crashes runs take the legacy
+        # centralized path verbatim: same objects, same event order,
+        # bit-identical metrics and traces.
+        sharded = params.num_control_nodes > 1 or (
+            fault_plan is not None and bool(fault_plan.control_crashes))
+        self.control_node: Optional[ControlNode] = None
+        self.control_plane: Optional[ControlPlane] = None
+        if sharded:
+            self.scheduler: Optional[Scheduler] = None
+            self.control_plane = ControlPlane(
+                self.env, params, scheduler_factory,  # repro-lint: disable=RL009 -- __init__ runs before the event loop starts (no concurrency yet), and the factory is a constructor closure, not shared mutable state: each recovery call builds a fresh scheduler
+                self.catalog,
+                self.data_nodes, self.metrics, history=self.history,
+                tracer=tracer, injector=self.injector)
+            self._scheduler_name = self.control_plane.shards[0].live.name
+        else:
+            self.scheduler = scheduler or scheduler_factory()
+            self.control_node = ControlNode(
+                self.env, params, self.scheduler, self.catalog,
+                self.data_nodes, self.metrics, history=self.history,
+                tracer=tracer, injector=self.injector)
+            self._scheduler_name = self.scheduler.name
         self._spawned = 0
 
     def _on_objects(self, txn: TransactionRuntime, objects: float) -> None:
         """A data node finished ``objects`` of a step: weight-adjust."""
-        self.scheduler.object_processed(txn, objects)
+        if self.control_plane is not None:
+            self.control_plane.note_objects(txn, objects)
+        else:
+            assert self.scheduler is not None
+            self.scheduler.object_processed(txn, objects)
 
     def _on_objects_batch(self, txn: TransactionRuntime,
                           full_quanta: int) -> None:
         """Coalesced weight adjustment for a batched run of whole quanta."""
-        self.scheduler.object_processed_batch(txn, full_quanta)
+        if self.control_plane is not None:
+            self.control_plane.note_objects_batch(txn, full_quanta)
+        else:
+            assert self.scheduler is not None
+            self.scheduler.object_processed_batch(txn, full_quanta)
 
     def _arrival_process(self) -> Generator[Event, Any, None]:
         """Poisson arrivals; each arrival spawns a transaction process."""
         env = self.env
         mean = self.params.mean_interarrival_clocks
+        if self.control_plane is not None:
+            coordinator = self.control_plane.transaction_process
+        else:
+            assert self.control_node is not None
+            coordinator = self.control_node.transaction_process
         while True:
             yield env.timeout(self.streams.exponential("arrivals", mean))
             self._spawned += 1
@@ -129,31 +187,57 @@ class Cluster:
                 spec = self.injector.distort(spec)
             txn = TransactionRuntime(spec, arrival_time=env.now)
             self.metrics.record_arrival(env.now)
-            env.process(self.control_node.transaction_process(txn))
+            env.process(coordinator(txn))
+
+    def _scheduler_stats(self) -> Dict[str, float]:
+        """Observational counters: per-shard sums for sharded runs."""
+        if self.control_plane is None:
+            assert self.scheduler is not None
+            return self.scheduler.stats.as_dict()
+        totals: Dict[str, float] = {}
+        for shard in self.control_plane.shards:
+            if shard.scheduler is None:
+                continue  # a shard down at end of run lost its counters
+            for key, value in shard.scheduler.stats.as_dict().items():
+                totals[key] = totals.get(key, 0.0) + value
+        return totals
 
     def run(self) -> SimulationResult:
         """Run for ``sim_clocks`` and summarise."""
         if self.injector is not None:
             self.injector.install(self.env, self.data_nodes, self.catalog,
                                   metrics=self.metrics, tracer=self.tracer)
+            if self.control_plane is not None:
+                self.injector.install_control(self.env, self.control_plane)
         self.env.process(self._arrival_process())
         self.env.run(until=self.params.sim_clocks)
         elapsed = self.params.sim_clocks
         dn_utilization = (sum(dn.utilization(elapsed)
                               for dn in self.data_nodes)
                           / len(self.data_nodes))
+        if self.control_plane is not None:
+            cn_utilizations = self.control_plane.utilizations(elapsed)
+            cn_utilization = sum(cn_utilizations) / len(cn_utilizations)
+            scheduler = self.control_plane.shards[0].scheduler
+        else:
+            assert self.control_node is not None
+            cn_utilizations = None
+            cn_utilization = self.control_node.utilization(elapsed)
+            scheduler = self.scheduler
         metrics = self.metrics.summarise(
-            scheduler=self.scheduler.name,
+            scheduler=self._scheduler_name,
             arrival_rate_tps=self.params.arrival_rate_tps,
             sim_clocks=elapsed,
             dn_utilization=dn_utilization,
-            cn_utilization=self.control_node.utilization(elapsed),
+            cn_utilization=cn_utilization,
             weight_messages=sum(dn.messages_sent for dn in self.data_nodes),
-            scheduler_stats=self.scheduler.stats.as_dict(),
+            scheduler_stats=self._scheduler_stats(),
+            cn_utilizations=cn_utilizations,
         )
         return SimulationResult(metrics=metrics, history=self.history,
-                                scheduler=self.scheduler,
-                                tracer=self.tracer)
+                                scheduler=scheduler,
+                                tracer=self.tracer,
+                                control_plane=self.control_plane)
 
 
 def run_simulation(params: SimulationParameters, workload: WorkloadFn,

@@ -1,0 +1,169 @@
+"""Per-control-node dependency logging and log replay.
+
+Each control-plane shard appends one :class:`LogRecord` per
+state-changing scheduler operation it performs: the *admission* of a
+BAT's shard-local sub-declaration, every lock *grant* (with the
+precedence *edges* the grant resolved), and the *commit* or *abort* that
+excises the BAT again.  Blocked/delayed requests are deliberately absent
+— they do not mutate scheduler state, so a log of only the
+state-changing operations, replayed in append order, reconstructs the
+shard's lock table and WTPG exactly (dependency logging in the sense of
+"Scaling Distributed Transaction Processing and Recovery based on
+Dependency Logging": the log persists *outcomes* — the dependencies —
+not the decision procedure that produced them, so replay never re-runs
+an admission constraint or a grant rule).
+
+One deliberate omission, documented in ``docs/control_plane.md``: the
+per-object weight-adjustment messages are *not* logged (they would grow
+the log with the bulk data volume rather than with the decision count).
+A replayed WTPG therefore carries the conservative *declared* source
+weights.  That is safe: weights only bias scheduling decisions
+(``E(q)``/``W`` ordering), never correctness, and every WTPG invariant —
+weight >= due, weight <= declared total, acyclicity, cache consistency —
+holds at the declared upper bound.
+
+:meth:`DependencyLog.replay` rebuilds a fresh scheduler from the log and
+*proves* consistency before handing it back: ``cache_violations()`` must
+be empty and :func:`repro.core.invariants.check_consistency` must pass,
+otherwise recovery fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core import builder
+from repro.core.invariants import check_consistency
+from repro.core.schedulers.base import Scheduler
+from repro.core.transaction import LockMode, Step, TransactionSpec
+from repro.errors import LockTableError, SchedulerError
+
+# Record kinds, in the only order they can legally appear per (tid,
+# attempt): ADMIT, then GRANT/EDGE interleaved, then COMMIT or ABORT.
+ADMIT = "admit"
+GRANT = "grant"
+EDGE = "edge"
+COMMIT = "commit"
+ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One append-only dependency-log entry.
+
+    ``steps`` is only populated for ADMIT records (the shard-local
+    sub-declaration: partition, mode value, actual cost, declared cost);
+    ``step`` only for GRANT records (the shard-local step index);
+    ``predecessor``/``successor`` only for EDGE records.
+    """
+
+    kind: str
+    tid: int
+    time: float
+    steps: Tuple[Tuple[int, str, float, float], ...] = ()
+    step: int = -1
+    predecessor: int = -1
+    successor: int = -1
+
+
+class DependencyLog:
+    """Append-only dependency log of one control-plane shard.
+
+    The log models the shard's *durable* medium: it survives the shard's
+    crash, and — one modelling simplification — surviving coordinators
+    may still append ABORT records for transactions they abort while the
+    shard is down, so that replay excises them in order.
+    """
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.records: List[LogRecord] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- appends ---------------------------------------------------------------
+
+    def append_admit(self, spec: TransactionSpec, now: float) -> None:
+        steps = tuple(
+            (step.partition, step.mode.value, step.cost,
+             step.declared_cost if step.declared_cost is not None
+             else step.cost)
+            for step in spec.steps)
+        self.records.append(LogRecord(ADMIT, spec.tid, now, steps=steps))
+
+    def append_grant(self, tid: int, step_index: int, now: float,
+                     resolved: Tuple[Tuple[int, int], ...] = ()) -> None:
+        self.records.append(LogRecord(GRANT, tid, now, step=step_index))
+        for predecessor, successor in resolved:
+            self.records.append(LogRecord(EDGE, tid, now,
+                                          predecessor=predecessor,
+                                          successor=successor))
+
+    def append_commit(self, tid: int, now: float) -> None:
+        self.records.append(LogRecord(COMMIT, tid, now))
+
+    def append_abort(self, tid: int, now: float) -> None:
+        self.records.append(LogRecord(ABORT, tid, now))
+
+    # -- replay ----------------------------------------------------------------
+
+    def replay(self, scheduler_factory: Callable[[], Scheduler],
+               upto: Optional[int] = None) -> Tuple[Scheduler, int]:
+        """Rebuild a fresh scheduler from the log's first ``upto`` records.
+
+        Applies each structural record directly to the new scheduler's
+        lock table and WTPG — replay applies logged *outcomes*, it never
+        re-decides — and then proves the result consistent
+        (``cache_violations()`` empty plus the full invariant suite).
+        Returns ``(scheduler, records_replayed)``.
+        """
+        scheduler = scheduler_factory()
+        # Duck-typed (not isinstance) so the factory may hand back a
+        # delegating wrapper around a WTPG scheduler — the property
+        # harness's invariant-checking proxy does exactly that.
+        table = getattr(scheduler, "table", None)
+        wtpg = getattr(scheduler, "wtpg", None)
+        if table is None or wtpg is None:
+            raise SchedulerError(
+                f"dependency-log replay requires a WTPG scheduler, got "
+                f"{type(scheduler).__name__}")
+        replayed = 0
+        for record in (self.records if upto is None
+                       else self.records[:upto]):
+            replayed += 1
+            if record.kind == ADMIT:
+                spec = TransactionSpec(record.tid, [
+                    Step(partition, LockMode(mode), cost,
+                         declared_cost=declared)
+                    for partition, mode, cost, declared in record.steps])
+                table.register(spec)
+                builder.add_transaction(wtpg, table, spec)
+            elif record.kind == GRANT:
+                try:
+                    table.grant(record.tid, record.step)
+                except LockTableError:
+                    # Re-access of an already-held lock whose declaration
+                    # an earlier grant consumed — the live path swallows
+                    # this too (WTPGScheduler._consume_if_pending).
+                    pass
+            elif record.kind == EDGE:
+                wtpg.resolve(record.predecessor, record.successor)
+            elif record.kind == COMMIT:
+                builder.remove_transaction(wtpg, table, record.tid)
+            elif record.kind == ABORT:
+                if record.tid in wtpg:
+                    builder.remove_transaction(wtpg, table, record.tid)
+                elif table.is_registered(record.tid):
+                    table.unregister(record.tid)
+            else:
+                raise SchedulerError(
+                    f"unknown dependency-log record kind {record.kind!r}")
+        violations = wtpg.cache_violations()
+        if violations:
+            raise SchedulerError(
+                f"replayed WTPG of CN {self.shard_id} is inconsistent: "
+                f"{violations}")
+        check_consistency(table, wtpg)
+        return scheduler, replayed

@@ -49,6 +49,27 @@ from repro.metrics.collector import MetricsCollector
 _LEGACY_CAUSE = "deadlock"
 
 
+def declustered_shares(cost: float, n: int) -> List[float]:
+    """Split ``cost`` into ``n`` near-equal shares summing to exactly ``cost``.
+
+    Telescoping prefix differences: share ``i`` is ``cost*(i+1)/n -
+    cost*i/n``, with the last share computed as ``cost - prefix``
+    directly, so the shares sum to ``cost`` *exactly* (the intermediate
+    bounds cancel pairwise) while each stays within a few ulps of the
+    ideal ``cost / n``.  Plain ``cost / n`` copies do not conserve: ``n``
+    repetitions of the rounded quotient drift from the dispatched total,
+    so the per-node object counts stop adding up to the step cost.
+    """
+    shares: List[float] = []
+    prev = 0.0
+    for i in range(1, n):
+        bound = cost * i / n
+        shares.append(bound - prev)
+        prev = bound
+    shares.append(cost - prev)
+    return shares
+
+
 class ControlNode:
     """CN: admission, locking, dispatch and commitment of every BAT."""
 
@@ -107,9 +128,11 @@ class ControlNode:
         coordinator process observes the doom at its next decision point
         and runs the shared abort/restart path.  Returns False when the
         transaction is not currently running (already committed, already
-        doomed, or between attempts) — such cascades are void.
+        doomed, or between attempts) — such cascades are void and counted
+        in :attr:`~repro.metrics.collector.RunMetrics.void_cascades`.
         """
         if tid not in self._running or tid in self._doomed:
+            self.metrics.record_void_cascade()
             return False
         self._doomed[tid] = cause
         for node in self.data_nodes:
@@ -159,10 +182,14 @@ class ControlNode:
                             reason=response.reason)
                 txn.reset_for_retry()  # repro-lint: disable=RL013 -- an admission-rejected BAT never started: this re-arms the attempt counter for resubmission; "restart only from aborted" governs BATs that actually ran
                 yield env.timeout(params.retry_delay)
+            # Admitted: the scheduler now holds state for this tid, so a
+            # cascade doom must be able to land from this instant on —
+            # before the startup CPU window below, during which a doomed
+            # predecessor's abort may already fan out to us.
+            self._running.add(txn.tid)
             yield from self._cpu_work(params.startup_time)
             txn.start_time = env.now
             self.active_transactions += 1
-            self._running.add(txn.tid)
             if restarting:
                 restarting = False
                 self.metrics.record_restart()
@@ -214,13 +241,16 @@ class ControlNode:
                 try:
                     if partition.declustered and len(self.data_nodes) > 1:
                         # Intra-transaction parallelism: the bulk operation
-                        # runs on every node at once, in equal shares.
-                        share = step.cost / len(self.data_nodes)
+                        # runs on every node at once, in near-equal shares
+                        # that sum to exactly step.cost.
+                        shares = declustered_shares(step.cost,
+                                                    len(self.data_nodes))
                         self._trace(EventType.STEP_DISPATCHED, txn,
                                     step=txn.current_step, node=-1,
                                     objects=step.cost)
                         done = [node.submit(txn, share)
-                                for node in self.data_nodes]
+                                for node, share in zip(self.data_nodes,
+                                                       shares)]
                         yield self.env.all_of(done)
                     else:
                         node = self.data_nodes[partition.node]

@@ -53,6 +53,11 @@ from repro.errors import FaultError
 # Tolerance when deciding a step's remaining object count is exhausted.
 _EPSILON = 1e-9
 
+# Cap on the mirror-replay length in _completion_bound.  Replays cut off
+# here return the boundary reached so far — still a sound (just less
+# deep) lower bound on the node's first completion.
+_BOUND_CAP = 4096
+
 ObjectCallback = Callable[[TransactionRuntime, float], None]
 BatchCallback = Callable[[TransactionRuntime, int], None]
 
@@ -116,6 +121,11 @@ class DataNode:
         self._wakeup: Optional[Event] = None
         self._recovered: Optional[Event] = None
         self._slow_factors: List[SlowdownToken] = []
+        if mode == "batched":
+            # Per-node horizons: the batched loop classifies its yielded
+            # quantum events as inert/non-inert so concurrent nodes can
+            # pre-play across each other's internal boundaries.
+            env.enable_affect_tracking()
         self._process = env.process(
             self._run_batched() if mode == "batched" else self._run())
 
@@ -255,7 +265,11 @@ class DataNode:
             self._current = item
             quantum = min(1.0, item.remaining)
             service = self._service_time(quantum)
-            yield self.env.timeout(service)
+            # sort_rank pins exact-time ties between different nodes'
+            # quanta to node order — the same arithmetic-only key the
+            # batched loop uses — so tie resolution is mode-invariant.
+            yield self.env.timeout_until(self.env.now + service,
+                                         sort_rank=self.node_id + 1)
             self._current = None
             self.busy_time += service
             # Killed mid-quantum: the device time is spent, the result
@@ -274,16 +288,18 @@ class DataNode:
     # -- the batched server loop -----------------------------------------------
     #
     # Equivalence argument (each decision point at time t0, with
-    # horizon = env.horizon(): the earliest pending event or the active
-    # run(until=) cutoff, whichever comes first — the cutoff is an
-    # observation instant too, since the run stops there and counters
-    # are read):
+    # horizon = env.affecting_horizon(): the earliest pending
+    # *non-inert* event, the smallest ``affect`` bound of a pending
+    # inert event, or the active run(until=) cutoff, whichever comes
+    # first — the cutoff is an observation instant too, since the run
+    # stops there and counters are read):
     #
     # * Quanta whose end falls *strictly before* the horizon and that do
-    #   not complete their item are pre-played: no other event fires
-    #   inside that span, so accounting them early is unobservable; the
-    #   boundary times are accumulated with the identical float
-    #   additions the reference timeouts would have produced.
+    #   not complete their item are pre-played: nothing that could reach
+    #   this node fires inside that span, so accounting them early is
+    #   unobservable; the boundary times are accumulated with the
+    #   identical float additions the reference timeouts would have
+    #   produced.
     # * The first quantum that completes an item or whose end reaches
     #   the horizon is *yielded* as one timeout at its absolute end time
     #   (``timeout_until`` — ``t + (e - t)`` is not bit-exact).
@@ -291,13 +307,39 @@ class DataNode:
     #   control node; horizon-crossing quanta must be yielded because a
     #   foreign event may cancel/crash mid-quantum, which the resume
     #   handles exactly as the reference loop does.
-    # * Same-time tie order is preserved: the yielded timeout's sequence
-    #   number is drawn at t0, before any event that a foreign firing
-    #   (all at times >= horizon > every pre-played boundary) could
-    #   schedule — matching the reference, whose final-quantum timeout
-    #   was drawn at the last pre-horizon boundary, likewise before any
-    #   foreign firing.  Events already in the heap at t0 keep their
-    #   earlier sequence numbers in both modes.
+    # * A yielded *non-completing* quantum is declared inert, carrying
+    #   an ``affect`` bound from :meth:`_completion_bound`: a mirror
+    #   replay (same float ops the real loop will execute) of this
+    #   node's round-robin up to its first step completion, under the
+    #   conditions holding at yield time.  Soundness: the bound is valid
+    #   as long as conditions hold, and everything that changes them —
+    #   a submission, a cancel, a crash, a slowdown edge — originates
+    #   from a *non-inert* event, which caps every other actor's horizon
+    #   by itself.  So another node pre-playing up to min(affect bounds,
+    #   non-inert horizon) can never run past a completion this node
+    #   actually produces.  Firing inert events do perturb one thing
+    #   inside a foreign pre-play window: the interleaving of per-object
+    #   weight-adjustment callbacks between nodes.  That reordering is
+    #   value-exact, because every pre-played/inert quantum is a *whole*
+    #   object — the callbacks subtract exactly-representable integers
+    #   from positive doubles (see note_objects_batch), and any
+    #   interleaving of such exact clamped subtractions on the same or
+    #   independent accumulators yields bit-identical final values.  No
+    #   control decision can observe an intermediate ordering: decision
+    #   points live on non-inert events, outside every window.
+    # * Same-time tie order is *mode-invariant by construction*: both
+    #   loops order their quantum events by (when, sort_time, sort_rank)
+    #   where sort_time is the quantum's start boundary and sort_rank
+    #   the node id.  All three are pure arithmetic — identical float
+    #   chains in both modes — and a node has at most one pending event,
+    #   so a comparison involving a node event never falls through to
+    #   the engine's schedule-order counter (the one quantity that *does*
+    #   differ between modes: a batched window draws its yielded event
+    #   at the window start, the reference loop at the quantum start).
+    #   Exact-time ties — common, not exotic: two equal-size steps
+    #   granted at one control instant onto nodes with the same obj_time
+    #   produce fully aligned boundary chains — therefore resolve
+    #   identically in both modes.
     # * When the horizon equals t0 (another event is pending in this
     #   very instant — e.g. a completion cascade that may submit here),
     #   no pre-play happens and the loop degrades to the reference
@@ -324,7 +366,7 @@ class DataNode:
             item = self._queue.popleft()
             self._current = item
             t = env.now
-            horizon = env.horizon()
+            horizon = env.affecting_horizon()
             if horizon > t:
                 if not self._queue and not self._slow_factors:
                     item, t = self._preplay_single(item, t, horizon)
@@ -332,10 +374,19 @@ class DataNode:
                     item, t = self._preplay_rr(item, t, horizon)
             # The yielded quantum: bit-identical to one reference
             # iteration (same service value, same absolute end instant,
-            # same cancellation check at resume).
+            # same cancellation check at resume).  Non-completing quanta
+            # are inert: their resumption is invisible to every other
+            # actor until this node's earliest possible completion.
             quantum = min(1.0, item.remaining)
             service = self._service_time(quantum)
-            yield env.timeout_until(t + service)
+            end = t + service
+            if item.remaining - quantum > _EPSILON:
+                yield env.timeout_until(
+                    end, affect=self._completion_bound(end, item, quantum),
+                    sort_time=t, sort_rank=self.node_id + 1)
+            else:
+                yield env.timeout_until(end, sort_time=t,
+                                        sort_rank=self.node_id + 1)
             self._current = None
             self.busy_time += service
             if item.cancelled:  # repro-lint: disable=RL009 -- _WorkItem is node-private (only this loop and the pre-play helpers mutate its fields) and this read IS the post-yield cancellation re-check; cancel() only sets the flag tested here
@@ -348,6 +399,37 @@ class DataNode:
                 self._queue.append(item)
             else:
                 item.done.succeed()
+
+    def _completion_bound(self, end: float, item: _WorkItem,
+                          quantum: float) -> float:
+        """Lower bound on this node's first step completion after ``end``.
+
+        A *mirror replay*: runs the exact float operations the live loop
+        will execute — the queued remainders in order, the yielded item's
+        post-quantum remainder at the back, ``min(1.0, r)`` quanta
+        serviced via :meth:`_service_time` — until the first quantum that
+        completes its item, and returns that completion's boundary.
+        Because it replays the real arithmetic rather than approximating
+        it (e.g. ``remaining * service`` can exceed the additive boundary
+        chain by ulps), the bound is bit-exact under constant conditions;
+        every condition change originates at a non-inert event that caps
+        foreign horizons independently (see the equivalence argument
+        above).  Capped at ``_BOUND_CAP`` quanta: a truncated replay
+        returns the last boundary reached, which precedes the first
+        completion and is therefore still sound.
+        """
+        seq: Deque[float] = deque(it.remaining for it in self._queue)
+        seq.append(item.remaining - quantum)
+        t = end
+        for _ in range(_BOUND_CAP):
+            r = seq.popleft()
+            q = min(1.0, r)
+            t += self._service_time(q)
+            r -= q
+            if r <= _EPSILON:
+                return t
+            seq.append(r)
+        return t
 
     def _preplay_single(self, item: _WorkItem, t: float,
                         horizon: float) -> Tuple[_WorkItem, float]:

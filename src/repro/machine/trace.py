@@ -40,6 +40,8 @@ class EventType(enum.Enum):
     COMMITTED = "committed"
     NODE_CRASHED = "node_crashed"      # machine fault; tid is -1
     NODE_RECOVERED = "node_recovered"  # machine fault; tid is -1
+    CN_CRASHED = "cn_crashed"          # control-node fault; tid is -1
+    CN_RECOVERED = "cn_recovered"      # log replay finished; tid is -1
 
 
 @dataclass(frozen=True)

@@ -33,9 +33,16 @@ class RunMetrics:
     cascade_aborts: int = 0        # precedence-successor cascade victims
     restarts: int = 0              # aborted transactions re-admitted
     node_crashes: int = 0          # injected node crash events
+    void_cascades: int = 0         # cascade dooms that found no victim
+    cn_crashes: int = 0            # injected control-node crash events
+    cn_recoveries: int = 0         # control-node log replays completed
+    twopc_rounds: int = 0          # cross-shard prepare/commit rounds
+    recovery_records: int = 0      # dependency-log records replayed
+    recovery_clocks: float = 0.0   # total simulated CN downtime
     fault_timeline: List[Dict[str, object]] = field(default_factory=list)
     scheduler_stats: Dict[str, float] = field(default_factory=dict)
     response_time_by_label: Dict[str, float] = field(default_factory=dict)
+    cn_utilizations: List[float] = field(default_factory=list)
 
     @property
     def mean_response_time_seconds(self) -> float:
@@ -59,6 +66,12 @@ class MetricsCollector:
         self.cascade_aborts = 0
         self.restarts = 0
         self.node_crashes = 0
+        self.void_cascades = 0
+        self.cn_crashes = 0
+        self.cn_recoveries = 0
+        self.twopc_rounds = 0
+        self.recovery_records = 0
+        self.recovery_clocks = 0.0
         self.fault_timeline: List[Dict[str, object]] = []
         self._response_times: List[float] = []
         self._attempts: List[int] = []
@@ -77,8 +90,8 @@ class MetricsCollector:
         """A mid-flight abort: its work so far is wasted.
 
         ``cause`` is ``"deadlock"`` (the legacy 2PL/WAIT-DIE restart),
-        ``"injected"``, ``"crash"`` or ``"cascade"``; fault-induced
-        causes additionally land on the fault timeline.
+        ``"injected"``, ``"crash"``, ``"cn_crash"`` or ``"cascade"``;
+        fault-induced causes additionally land on the fault timeline.
         """
         self.aborts += 1
         self.wasted_objects += txn.objects_done
@@ -86,7 +99,7 @@ class MetricsCollector:
             return
         if cause == "injected":
             self.fault_aborts += 1
-        elif cause == "crash":
+        elif cause in ("crash", "cn_crash"):
             self.crash_aborts += 1
         elif cause == "cascade":
             self.cascade_aborts += 1
@@ -99,10 +112,26 @@ class MetricsCollector:
         """An aborted transaction made it back through admission."""
         self.restarts += 1
 
+    def record_void_cascade(self) -> None:
+        """A cascade doom that found its victim not running (void)."""
+        self.void_cascades += 1
+
+    def record_2pc_round(self, rounds: int = 1) -> None:
+        """``rounds`` cross-shard prepare/commit message rounds ran."""
+        self.twopc_rounds += rounds
+
+    def record_recovery(self, records: int, downtime: float) -> None:
+        """A crashed control node finished replaying its dependency log."""
+        self.cn_recoveries += 1
+        self.recovery_records += records
+        self.recovery_clocks += downtime
+
     def record_fault(self, kind: str, now: float, **detail: object) -> None:
         """A machine-level fault event (crash/recovery/slowdown window)."""
         if kind == "node_crash":
             self.node_crashes += 1
+        elif kind == "cn_crash":
+            self.cn_crashes += 1
         entry: Dict[str, object] = {"time": now, "kind": kind}
         entry.update(detail)
         self.fault_timeline.append(entry)
@@ -140,6 +169,7 @@ class MetricsCollector:
                   sim_clocks: float, dn_utilization: float,
                   cn_utilization: float, weight_messages: int,
                   scheduler_stats: Optional[Dict[str, float]] = None,
+                  cn_utilizations: Optional[List[float]] = None,
                   ) -> RunMetrics:
         if sim_clocks <= self.warmup_clocks:
             raise ExperimentError("run shorter than its warmup")
@@ -170,7 +200,16 @@ class MetricsCollector:
             cascade_aborts=self.cascade_aborts,
             restarts=self.restarts,
             node_crashes=self.node_crashes,
+            void_cascades=self.void_cascades,
+            cn_crashes=self.cn_crashes,
+            cn_recoveries=self.cn_recoveries,
+            twopc_rounds=self.twopc_rounds,
+            recovery_records=self.recovery_records,
+            recovery_clocks=self.recovery_clocks,
             fault_timeline=list(self.fault_timeline),
             scheduler_stats=dict(scheduler_stats or {}),
             response_time_by_label=self.mean_response_time_by_label(),
+            cn_utilizations=(list(cn_utilizations)
+                             if cn_utilizations is not None
+                             else [cn_utilization]),
         )

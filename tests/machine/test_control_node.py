@@ -139,6 +139,58 @@ class TestRetrySemantics:
         assert t.commit_time == 2080
         assert cn._doomed == {}          # no stale entry survives
 
+    def test_doom_during_startup_window_lands(self):
+        """Regression: a cascade doom that arrives while the coordinator
+        is charging startup_time used to be silently void — the tid
+        entered `_running` only *after* the startup yield, so the victim
+        ran its whole attempt with locks its doomed predecessor's abort
+        should have cascaded away.  The tid must be doomable from the
+        instant the scheduler holds admission state for it."""
+        env, cn, metrics = build(startup_time=20, commit_time=50,
+                                 admission_time=5, dd_time=5,
+                                 retry_delay=100)
+        t = txn(1, [Step.read(0, 2)])
+        env.process(cn.transaction_process(t))
+        landed = []
+
+        def doom_mid_startup():
+            # Startup window is [5, 25) (admission 5 + startup 20).
+            yield env.timeout(10)
+            landed.append(cn.request_abort(1, "cascade"))
+
+        env.process(doom_mid_startup())
+        env.run()
+        assert landed == [True]          # the doom hit, not voided
+        assert metrics.void_cascades == 0
+        assert metrics.cascade_aborts == 1
+        assert metrics.restarts == 1     # the victim re-ran from scratch
+        assert metrics.commits == 1
+        # Attempt 1 died at the first decision point after startup (t=25,
+        # zero objects wasted), so the retry pushes the commit past the
+        # clean-run instant 2080.
+        assert metrics.wasted_objects == 0.0
+        assert t.commit_time > 2080
+
+    def test_cascade_without_victim_is_counted_void(self):
+        """A doom aimed at a tid the CN is not running (already
+        committed, or never admitted) is void — and counted, so cascade
+        accounting stays conserved."""
+        env, cn, metrics = build(startup_time=20, commit_time=50,
+                                 admission_time=5, dd_time=5)
+        t = txn(1, [Step.read(0, 2)])
+        env.process(cn.transaction_process(t))
+
+        def doom_late():
+            yield env.timeout(2090)      # after the commit at 2080
+            assert cn.request_abort(1, "cascade") is False
+            assert cn.request_abort(99, "cascade") is False  # unknown tid
+
+        env.process(doom_late())
+        env.run()
+        assert metrics.commits == 1
+        assert metrics.void_cascades == 2
+        assert metrics.cascade_aborts == 0
+
     def test_admission_rejection_counts_attempts(self):
         env, cn, _ = build(scheduler_name="ASL", retry_delay=500,
                            startup_time=0, commit_time=0)

@@ -14,8 +14,8 @@ from typing import Callable, Optional
 from repro.config import SimulationParameters
 from repro.core.transaction import Step, TransactionSpec
 from repro.engine.rng import RandomStreams, derive_seed
-from repro.faults import (FaultPlan, NodeCrash, PartitionSlowdown,
-                          RetryPolicy, StepAbort)
+from repro.faults import (ControlCrash, FaultPlan, NodeCrash,
+                          PartitionSlowdown, RetryPolicy, StepAbort)
 
 MASTER_SEED = int(os.environ.get("REPRO_PROP_SEED", "20260806"))
 
@@ -90,6 +90,55 @@ def make_fault_plan(rng: random.Random) -> Optional[FaultPlan]:
         else 0.0,
         declared_cost_factor=rng.uniform(0.5, 2.0) if rng.random() < 0.2
         else 1.0,
+        cascade=rng.random() < 0.3, retry=retry)
+
+
+def is_control_case(name: str) -> bool:
+    """Control-plane cases (sharded CNs, CN crashes) dispatch by name,
+    preserving the replay-from-name-alone property."""
+    return "-cn-" in name
+
+
+def make_control_params(rng: random.Random,
+                        scheduler: str) -> SimulationParameters:
+    """Sharded-plane parameters: :func:`make_params` plus 2-4 CNs."""
+    return make_params(rng, scheduler).with_overrides(
+        num_control_nodes=rng.choice((2, 3, 4)))
+
+
+def make_control_fault_plan(rng: random.Random,
+                            num_control_nodes: int) -> FaultPlan:
+    """A fault plan that always kills control nodes mid-run.
+
+    At most one crash per CN — the injector runs one crash/recovery
+    process per plan entry, and a recovery racing a second crash of the
+    same shard is not a machine state the model defines.  ~80% of
+    crashes recover, so most runs also exercise dependency-log replay;
+    workload-level faults (step aborts, abort rate, cascades, retry
+    policies) ride along at make_fault_plan's rates.
+    """
+    cns = rng.sample(range(num_control_nodes),
+                     rng.randint(1, min(2, num_control_nodes)))
+    crashes = []
+    for cn in sorted(cns):
+        at = rng.uniform(100.0, SIM_CLOCKS * 0.6)
+        recover = (at + rng.uniform(50.0, SIM_CLOCKS * 0.35)
+                   if rng.random() < 0.8 else None)
+        crashes.append(ControlCrash(cn, at, recover_at=recover))
+    step_aborts = []
+    if rng.random() < 0.3:
+        for tid in rng.sample(range(1, 8), rng.randint(1, 2)):
+            step_aborts.append(StepAbort(tid, rng.randint(0, 4),
+                                         attempt=rng.randint(1, 2)))
+    retry = None
+    if rng.random() < 0.5:
+        kind = rng.choice(("fixed", "immediate", "exponential"))
+        retry = RetryPolicy(
+            kind=kind, delay=rng.uniform(1.0, 50.0),
+            cap=rng.uniform(100.0, 500.0) if kind == "exponential" else None)
+    return FaultPlan(
+        control_crashes=tuple(crashes), step_aborts=tuple(step_aborts),
+        abort_rate=rng.uniform(0.0, 0.3) if rng.random() < 0.5 else 0.0,
         cascade=rng.random() < 0.3, retry=retry)
 
 
